@@ -1,0 +1,216 @@
+// Command tusbench regenerates the paper's evaluation: every figure of
+// Sec. VI plus the CAM-model table, printed as text tables.
+//
+// Usage:
+//
+//	tusbench                 # everything (Figs. 8-15 + CAM table)
+//	tusbench -fig 10         # one figure
+//	tusbench -table cam      # CAM model vs paper claims
+//	tusbench -table config   # Table I configuration dump
+//	tusbench -summary        # headline averages
+//	tusbench -dse 502.gcc5   # TUS design-space exploration
+//	tusbench -quick          # small traces (CI-sized)
+//	tusbench -ops N          # trace length per thread
+//	tusbench -check          # run the TSO checker on every simulation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tusim/internal/config"
+	"tusim/internal/harness"
+	"tusim/internal/workload"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "regenerate one figure (8-15); 0 = all")
+	table := flag.String("table", "", "print a table: cam | config")
+	summary := flag.Bool("summary", false, "print headline averages only")
+	dse := flag.String("dse", "", "run the TUS design-space exploration on a benchmark (e.g. 502.gcc5)")
+	jsonOut := flag.Bool("json", false, "emit the full evaluation as JSON")
+	quick := flag.Bool("quick", false, "use small traces")
+	ops := flag.Int("ops", 0, "override trace length per thread")
+	pops := flag.Int("parallel-ops", 0, "override per-thread trace length for 16-thread runs")
+	seed := flag.Int64("seed", 1, "workload seed")
+	check := flag.Bool("check", false, "attach the TSO checker to every run")
+	verbose := flag.Bool("v", false, "print each run")
+	flag.Parse()
+
+	if *table != "" {
+		switch *table {
+		case "cam":
+			harness.PrintCAMTable(os.Stdout)
+		case "config":
+			printConfig()
+		default:
+			fmt.Fprintf(os.Stderr, "unknown table %q\n", *table)
+			os.Exit(2)
+		}
+		return
+	}
+
+	r := harness.NewRunner()
+	if *quick {
+		r = harness.NewQuickRunner()
+	}
+	if *ops > 0 {
+		r.Ops = *ops
+	}
+	if *pops > 0 {
+		r.ParallelOps = *pops
+	}
+	r.Seed = *seed
+	r.Check = *check
+	r.Verbose = *verbose
+
+	if *jsonOut {
+		if err := harness.WriteJSON(os.Stdout, r); err != nil {
+			fail(err)
+		}
+		return
+	}
+
+	if *dse != "" {
+		points, err := harness.DSE(r, *dse)
+		if err != nil {
+			fail(err)
+		}
+		harness.PrintDSE(os.Stdout, points)
+		return
+	}
+
+	if *summary {
+		if err := printSummary(r); err != nil {
+			fail(err)
+		}
+		return
+	}
+
+	figs := []int{8, 9, 10, 11, 12, 13, 14, 15}
+	if *fig != 0 {
+		figs = []int{*fig}
+	}
+	for _, f := range figs {
+		if err := runFigure(r, f); err != nil {
+			fail(err)
+		}
+		fmt.Println()
+	}
+	if *fig == 0 {
+		harness.PrintCAMTable(os.Stdout)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "tusbench:", err)
+	os.Exit(1)
+}
+
+func runFigure(r *harness.Runner, f int) error {
+	switch f {
+	case 8:
+		rows, err := harness.Fig8(r)
+		if err != nil {
+			return err
+		}
+		harness.PrintFig8(os.Stdout, rows)
+	case 9:
+		rows, err := harness.Fig9(r)
+		if err != nil {
+			return err
+		}
+		harness.PrintFig9(os.Stdout, rows)
+	case 10:
+		s, err := harness.Speedups(r, 114, 114)
+		if err != nil {
+			return err
+		}
+		s.Print(os.Stdout, "Figure 10")
+	case 11:
+		s, err := harness.EDP(r, workload.SBBound(), 114, 114)
+		if err != nil {
+			return err
+		}
+		s.Print(os.Stdout, "Figure 11")
+	case 12:
+		s, err := harness.Parsec(r, 114, 114)
+		if err != nil {
+			return err
+		}
+		s.Print(os.Stdout, "Figure 12")
+	case 13:
+		s, err := harness.Speedups(r, 32, 32)
+		if err != nil {
+			return err
+		}
+		s.Print(os.Stdout, "Figure 13")
+	case 14:
+		s, err := harness.Parsec(r, 32, 32)
+		if err != nil {
+			return err
+		}
+		s.Print(os.Stdout, "Figure 14")
+	case 15:
+		s, err := harness.EDP(r, workload.SBBound(), 32, 32)
+		if err != nil {
+			return err
+		}
+		s.Print(os.Stdout, "Figure 15")
+	default:
+		return fmt.Errorf("unknown figure %d", f)
+	}
+	return nil
+}
+
+// printSummary reproduces the abstract's headline numbers.
+func printSummary(r *harness.Runner) error {
+	st, err := harness.Speedups(r, 114, 114)
+	if err != nil {
+		return err
+	}
+	edpST, err := harness.EDP(r, workload.SBBound(), 114, 114)
+	if err != nil {
+		return err
+	}
+	par, err := harness.Parsec(r, 114, 114)
+	if err != nil {
+		return err
+	}
+	small, err := harness.Speedups(r, 114, 32)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Headline results (paper values in parentheses):")
+	fmt.Printf("  TUS speedup, ST SB-bound geomean @114SB:   %+.1f%%  (paper: +3.2%%)\n",
+		100*(st.Geomean[config.TUS]-1))
+	fmt.Printf("  TUS EDP reduction, ST SB-bound @114SB:     %+.1f%%  (paper: -6.4%%)\n",
+		100*(edpST.Geomean[config.TUS]-1))
+	fmt.Printf("  TUS speedup, Parsec geomean @114SB:        %+.1f%%  (paper: +3.5%%)\n",
+		100*(par.Speedup.Geomean[config.TUS]-1))
+	fmt.Printf("  TUS EDP reduction, Parsec @114SB:          %+.1f%%  (paper: -5.1%%)\n",
+		100*(par.EDP.Geomean[config.TUS]-1))
+	fmt.Printf("  TUS@32SB vs baseline@114SB, ST SB-bound:   %+.1f%%  (paper: +2%%)\n",
+		100*(small.Geomean[config.TUS]-1))
+	return nil
+}
+
+func printConfig() {
+	c := config.Default()
+	fmt.Println("Table I configuration:")
+	fmt.Printf("  front-end width        %d fetch / %d decode / %d rename\n", c.FetchWidth, c.DecodeWidth, c.RenameWidth)
+	fmt.Printf("  back-end width         %d dispatch / %d issue / %d commit\n", c.DispatchWidth, c.IssueWidth, c.CommitWidth)
+	fmt.Printf("  load/store queue       %d / %d entries\n", c.LQEntries, c.SBEntries)
+	fmt.Printf("  re-order buffer        %d entries\n", c.ROBEntries)
+	fmt.Printf("  functional units       %d simple ALU + %d complex ALUs\n", c.SimpleALUs, c.ComplexALUs)
+	fmt.Printf("  int latencies          add %dc, mul %dc, div %dc\n", c.IntAddLat, c.IntMulLat, c.IntDivLat)
+	fmt.Printf("  fp latencies           add %dc, mul %dc, div %dc\n", c.FPAddLat, c.FPMulLat, c.FPDivLat)
+	fmt.Printf("  L1D                    %dKB, %d-way, %d-cycle, %d MSHRs, stream prefetcher\n",
+		c.L1D.SizeBytes>>10, c.L1D.Ways, c.L1D.Latency, c.L1D.MSHRs)
+	fmt.Printf("  L2                     %dMB, %d-way, %d-cycle round trip\n", c.L2.SizeBytes>>20, c.L2.Ways, c.L2.Latency)
+	fmt.Printf("  L3                     %dMB, %d-way, %d-cycle round trip\n", c.L3.SizeBytes>>20, c.L3.Ways, c.L3.Latency)
+	fmt.Printf("  DRAM                   %d-cycle latency\n", c.DRAMLatency)
+	fmt.Printf("  TUS                    %d-entry WOQ, %d WCBs, max atomic group %d, %d lex bits\n",
+		c.WOQEntries, c.WCBCount, c.MaxAtomicGroup, c.LexBits)
+}

@@ -1,0 +1,205 @@
+// Command tusim runs one benchmark proxy on one machine configuration
+// and prints cycles, IPC, stall breakdown, energy, and the mechanism's
+// key statistics.
+//
+// Usage:
+//
+//	tusim -bench 502.gcc5 -mech TUS -sb 114 -ops 150000
+//	tusim -list                     # list benchmark proxies
+//	tusim -bench dedup -mech TUS    # 16-core Parsec proxy
+//	tusim -bench 505.mcf -mech base -check   # with TSO checker
+//	tusim -litmus -mech TUS                  # TSO litmus suite
+//	tusim -bench 502.gcc1 -save-trace /tmp/t # export trace files
+//	tusim -trace /tmp/t.0.tust -mech CSB     # replay a trace file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"tusim/internal/config"
+	"tusim/internal/energy"
+	"tusim/internal/isa"
+	"tusim/internal/litmus"
+	"tusim/internal/system"
+	"tusim/internal/tso"
+	"tusim/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "502.gcc5", "benchmark proxy name (-list to enumerate)")
+	mech := flag.String("mech", "TUS", "store mechanism: base | TUS | SSB | CSB | SPB")
+	sb := flag.Int("sb", 114, "store buffer entries")
+	ops := flag.Int("ops", 150_000, "micro-ops per thread")
+	seed := flag.Int64("seed", 1, "workload seed")
+	check := flag.Bool("check", false, "run the TSO consistency checker")
+	list := flag.Bool("list", false, "list available benchmark proxies")
+	woq := flag.Int("woq", 64, "TUS write ordering queue entries")
+	wcbs := flag.Int("wcbs", 2, "write combining buffers")
+	noCoalesce := flag.Bool("no-coalesce", false, "disable TUS coalescing (ablation)")
+	dumpStats := flag.Bool("stats", false, "dump all raw counters")
+	saveTrace := flag.String("save-trace", "", "write the generated trace(s) to <path>.<thread>.tust and exit")
+	fromTrace := flag.String("trace", "", "run a saved single-thread trace file instead of a benchmark proxy")
+	runLitmus := flag.Bool("litmus", false, "run the TSO litmus suite under -mech and exit")
+	flag.Parse()
+
+	if *list {
+		w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "NAME\tSUITE\tTHREADS\tSB-BOUND")
+		for _, b := range workload.All() {
+			fmt.Fprintf(w, "%s\t%s\t%d\t%v\n", b.Name, b.Suite, b.Threads, b.SBBound)
+		}
+		w.Flush()
+		return
+	}
+
+	var m config.Mechanism
+	switch strings.ToLower(*mech) {
+	case "base", "baseline":
+		m = config.Baseline
+	case "tus":
+		m = config.TUS
+	case "ssb":
+		m = config.SSB
+	case "csb":
+		m = config.CSB
+	case "spb":
+		m = config.SPB
+	default:
+		fail(fmt.Errorf("unknown mechanism %q", *mech))
+	}
+
+	if *runLitmus {
+		for _, lt := range litmus.Tests() {
+			res, err := litmus.Run(lt, m, 16)
+			if err != nil {
+				fail(err)
+			}
+			status := "OK"
+			if res.Violations > 0 {
+				status = fmt.Sprintf("%d TSO VIOLATIONS", res.Violations)
+			}
+			fmt.Printf("%-10s %-4s %2d interleavings  %s  outcomes: %v\n",
+				lt.Name, m, res.Runs, status, res.Outcomes)
+		}
+		return
+	}
+
+	b, ok := workload.ByName(*bench)
+	if !ok && *fromTrace == "" {
+		fail(fmt.Errorf("unknown benchmark %q (use -list)", *bench))
+	}
+
+	threads := 1
+	var streams []isa.Stream
+	benchName := *fromTrace
+	if *fromTrace != "" {
+		f, err := os.Open(*fromTrace)
+		if err != nil {
+			fail(err)
+		}
+		trace, err := isa.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
+		streams = []isa.Stream{isa.NewSliceStream(trace)}
+		*ops = len(trace)
+	} else {
+		threads = b.Threads
+		benchName = b.Name
+		if *saveTrace != "" {
+			for i, tr := range b.Generate(*seed, *ops) {
+				path := fmt.Sprintf("%s.%d.tust", *saveTrace, i)
+				f, err := os.Create(path)
+				if err != nil {
+					fail(err)
+				}
+				if err := isa.WriteTrace(f, tr); err != nil {
+					fail(err)
+				}
+				if err := f.Close(); err != nil {
+					fail(err)
+				}
+				fmt.Println("wrote", path)
+			}
+			return
+		}
+		streams = b.Streams(*seed, *ops)
+	}
+
+	cfg := config.Default().WithMechanism(m).WithSB(*sb).WithCores(threads)
+	cfg.WOQEntries = *woq
+	cfg.WCBCount = *wcbs
+	cfg.TUSCoalesce = !*noCoalesce
+
+	sys, err := system.New(cfg, streams)
+	if err != nil {
+		fail(err)
+	}
+	sys.WarmupOps = uint64(*ops) * uint64(threads) / 3
+
+	var ck *tso.Checker
+	if *check {
+		ck = tso.NewChecker(cfg.Cores)
+		sys.SetObserver(ck)
+	}
+	if err := sys.Run(); err != nil {
+		fail(err)
+	}
+	if ck != nil {
+		ck.Finish()
+		if err := ck.Err(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("TSO checker: OK (%d publications, %d loads checked)\n", ck.Published, ck.LoadsSeen)
+	}
+
+	st := sys.StatsSum()
+	model := energy.New(cfg)
+	e := model.Energy(st, sys.Cycles)
+	committed := sys.TotalCommitted()
+
+	fmt.Printf("benchmark     %s (%d threads)\n", benchName, threads)
+	fmt.Printf("mechanism     %s, SB=%d entries (fwd latency %d cycles)\n", m, *sb, cfg.ForwardLatency())
+	fmt.Printf("cycles        %d (measured region)\n", sys.Cycles)
+	fmt.Printf("committed     %d micro-ops, IPC %.2f/core\n", committed,
+		float64(committed)/float64(sys.Cycles)/float64(cfg.Cores))
+	fmt.Printf("stalls        SB %.1f%%  ROB %.1f%%  LQ %.1f%% of cycles\n",
+		pct(st.Get("stall_sb"), sys.Cycles, cfg.Cores),
+		pct(st.Get("stall_rob"), sys.Cycles, cfg.Cores),
+		pct(st.Get("stall_lq"), sys.Cycles, cfg.Cores))
+	fmt.Printf("L1D           %d reads, %d writes, %.1f%% hit rate\n",
+		st.Get("l1d_reads"), st.Get("l1d_writes"),
+		100*float64(st.Get("l1d_hits"))/float64(st.Get("l1d_hits")+st.Get("l1d_misses")+1))
+	fmt.Printf("memory        %d LLC accesses, %d DRAM accesses\n",
+		st.Get("llc_accesses"), st.Get("dram_accesses"))
+	if m == config.TUS {
+		fmt.Printf("TUS           %d lines published (%d groups), WOQ peak %d, %d cycle merges, %d lex delays, %d relinquishes\n",
+			st.Get("tus_lines_made_visible"), st.Get("tus_visible_groups"),
+			st.Get("woq_peak_occupancy"), st.Get("tus_cycle_merges"),
+			st.Get("tus_lex_delays"), st.Get("tus_lex_relinquishes"))
+	}
+	fmt.Printf("energy        %.3g units (core %.0f%%, SB %.0f%%, caches %.0f%%, DRAM %.0f%%, leakage %.0f%%)\n",
+		e.Total(),
+		100*e.Core/e.Total(), 100*(e.SB+e.WOQ+e.WCB+e.TSOB)/e.Total(),
+		100*(e.L1D+e.L2+e.LLC)/e.Total(), 100*e.DRAM/e.Total(), 100*e.Leakage/e.Total())
+	fmt.Printf("EDP           %.4g\n", model.EDP(st, sys.Cycles))
+
+	if *dumpStats {
+		fmt.Println("\nraw counters:")
+		fmt.Print(st.String())
+	}
+}
+
+func pct(n, cycles uint64, cores int) float64 {
+	return 100 * float64(n) / float64(cycles) / float64(cores)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "tusim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,71 @@
+// Multicore: four TUS cores contend for shared cache lines while also
+// writing private data. The example runs with the TSO checker attached
+// and prints how the authorization unit resolved the conflicts —
+// lex-order delays and relinquishes — proving that unauthorized stores
+// never become visible out of order even under contention.
+//
+//	go run ./examples/multicore
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tusim/internal/config"
+	"tusim/internal/isa"
+	"tusim/internal/system"
+	"tusim/internal/tso"
+)
+
+func main() {
+	const cores = 4
+	cfg := config.Default().WithMechanism(config.TUS).WithCores(cores)
+
+	// Each core interleaves cold private stores (slow permissions) with
+	// stores to a handful of shared lines. The private misses hold each
+	// core's WOQ head back, so the shared lines sit
+	// "ready-but-not-visible" — exactly the state external requests
+	// must negotiate through the authorization unit.
+	streams := make([]isa.Stream, cores)
+	for c := 0; c < cores; c++ {
+		var ops []isa.MicroOp
+		for i := 0; i < 2000; i++ {
+			private := uint64(1)<<32 + uint64(c)<<28 + uint64(i)*64
+			shared := uint64(1)<<33 + uint64(i%4)*64
+			ops = append(ops,
+				isa.MicroOp{Kind: isa.Store, Addr: private, Size: 8},
+				isa.MicroOp{Kind: isa.Store, Addr: shared + uint64(c)*8, Size: 8},
+				isa.MicroOp{Kind: isa.Load, Addr: shared, Size: 8},
+				isa.MicroOp{Kind: isa.IntAdd},
+			)
+		}
+		streams[c] = isa.NewSliceStream(ops)
+	}
+
+	sys, err := system.New(cfg, streams)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ck := tso.NewChecker(cores)
+	sys.SetObserver(ck)
+	if err := sys.Run(); err != nil {
+		log.Fatal(err)
+	}
+	ck.Finish()
+
+	fmt.Printf("4-core TUS contention run: %d cycles, %d micro-ops\n",
+		sys.Cycles, sys.TotalCommitted())
+	st := sys.StatsSum()
+	fmt.Printf("  unauthorized lines published: %d\n", st.Get("tus_lines_made_visible"))
+	fmt.Printf("  authorization unit: %d delays, %d relinquishes\n",
+		st.Get("tus_lex_delays"), st.Get("tus_lex_relinquishes"))
+	fmt.Printf("  coherence probes: %d (%d NACKed)\n",
+		st.Get("llc_probes"), st.Get("probe_nacks"))
+	if err := ck.Err(); err != nil {
+		log.Fatalf("TSO VIOLATED: %v", err)
+	}
+	fmt.Printf("  TSO checker: OK — %d store publications and %d load values verified\n",
+		ck.Published, ck.LoadsSeen)
+	fmt.Println("\nevery store became visible in program order (atomic groups")
+	fmt.Println("included), and every load read a TSO-legal value.")
+}

@@ -1,0 +1,3 @@
+module tusim
+
+go 1.22

@@ -1,0 +1,533 @@
+package cpu
+
+import (
+	"container/heap"
+	"encoding/binary"
+
+	"tusim/internal/config"
+	"tusim/internal/event"
+	"tusim/internal/isa"
+	"tusim/internal/memsys"
+	"tusim/internal/stats"
+)
+
+// DrainMechanism is the pluggable store-handling policy: it owns the
+// path from the SB head into the memory system.
+type DrainMechanism interface {
+	// Name returns the paper name of the policy.
+	Name() string
+	// Tick runs once per cycle after commit; it may drain committed
+	// stores from the SB (the core never pops the SB itself).
+	Tick()
+	// Forward searches mechanism-held store data (WCBs, TSOB, ...) for
+	// a load that missed SB forwarding.
+	Forward(addr uint64, size uint8) (ForwardResult, [8]byte)
+	// Drained reports that no stores remain buffered in the mechanism.
+	Drained() bool
+	// FlushDone reports that every store the mechanism handled is
+	// globally visible (fence/serializing semantics; for TUS this
+	// additionally requires an empty WOQ).
+	FlushDone() bool
+}
+
+type robEntry struct {
+	seq      uint64
+	op       isa.MicroOp
+	valid    bool
+	issued   bool
+	done     bool
+	depCount int
+	waiters  []uint64 // seqs of dependents
+	sbEntry  *SBEntry
+}
+
+// seqHeap orders ready ops oldest-first for issue.
+type seqHeap []uint64
+
+func (h seqHeap) Len() int           { return len(h) }
+func (h seqHeap) Less(i, j int) bool { return h[i] < h[j] }
+func (h seqHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *seqHeap) Push(x any)        { *h = append(*h, x.(uint64)) }
+func (h *seqHeap) Pop() any          { old := *h; n := len(old); v := old[n-1]; *h = old[:n-1]; return v }
+
+// LoadObserver receives every architecturally bound load value (the
+// TSO checker subscribes).
+type LoadObserver func(core int, seq, addr uint64, size uint8, value [8]byte)
+
+// Core is one out-of-order hardware context.
+type Core struct {
+	ID   int
+	cfg  *config.Config
+	q    *event.Queue
+	st   *stats.Set
+	priv *memsys.Private
+	mech DrainMechanism
+
+	stream isa.Stream
+	nextOp *isa.MicroOp // lookahead
+	seq    uint64       // next seq to dispatch
+	eof    bool
+
+	rob      []robEntry
+	robHead  uint64 // seq of oldest in-flight op
+	robCount int
+
+	SB      *StoreBuffer
+	lqCount int
+
+	ready        seqHeap
+	blockedLoads []uint64 // loads waiting on conflicts/MSHRs/fences
+	fences       []uint64 // seqs of in-flight fences
+
+	frontWidth int
+
+	// OnStoreCommit observers (prefetch-at-commit, SPB).
+	OnStoreCommit []func(addr uint64)
+	// OnStoreData observes committed stores with their final data
+	// (TSO checker).
+	OnStoreData func(seq, addr uint64, size uint8, value [8]byte)
+	// OnStoreExec observes stores at execute time, when their data
+	// first becomes forwardable to loads (TSO checker).
+	OnStoreExec func(seq, addr uint64, size uint8, value [8]byte)
+	// OnLoadValue observes bound load values.
+	OnLoadValue LoadObserver
+
+	cCycles, cCommitted, cLoads, cStores     *stats.Counter
+	cStallROB, cStallLQ, cStallSB, cSBSearch *stats.Counter
+	cFwdHits, cFwdConflicts, cMechFwd        *stats.Counter
+	cSBBlocked, cFenceStall                  *stats.Counter
+}
+
+// NewCore builds a core over a private cache hierarchy and a micro-op
+// stream. The drain mechanism is attached separately (SetMechanism)
+// because mechanisms need the core's SB at construction time.
+func NewCore(id int, cfg *config.Config, q *event.Queue, priv *memsys.Private, stream isa.Stream, st *stats.Set) *Core {
+	fw := cfg.FetchWidth
+	for _, w := range []int{cfg.DecodeWidth, cfg.RenameWidth, cfg.DispatchWidth} {
+		if w < fw {
+			fw = w
+		}
+	}
+	c := &Core{
+		ID:         id,
+		cfg:        cfg,
+		q:          q,
+		st:         st,
+		priv:       priv,
+		stream:     stream,
+		rob:        make([]robEntry, cfg.ROBEntries),
+		SB:         NewStoreBuffer(cfg.SBEntries),
+		frontWidth: fw,
+	}
+	c.cCycles = st.Counter("cycles")
+	c.cCommitted = st.Counter("committed_ops")
+	c.cLoads = st.Counter("loads")
+	c.cStores = st.Counter("stores")
+	c.cStallROB = st.Counter("stall_rob")
+	c.cStallLQ = st.Counter("stall_lq")
+	c.cStallSB = st.Counter("stall_sb")
+	c.cSBSearch = st.Counter("sb_searches")
+	c.cFwdHits = st.Counter("sb_forward_hits")
+	c.cFwdConflicts = st.Counter("sb_forward_conflicts")
+	c.cMechFwd = st.Counter("mech_forward_hits")
+	c.cSBBlocked = st.Counter("sb_head_blocked_cycles")
+	c.cFenceStall = st.Counter("fence_stall_cycles")
+	if cfg.PrefetchAtCommit {
+		// The commit-time RFO is a 100%-accurate demand hint, naturally
+		// rate-limited by commit width, so it rides the demand path.
+		// Under TUS it is only an allocation warm-up (the WOQ issues
+		// the authoritative, lex-governed permission requests), so it
+		// stays in the prefetch class there and never fights the
+		// authorization unit. NACKs drop the request either way; the
+		// drain path issues any demand request still needed.
+		prefetchClass := cfg.Mechanism == config.TUS
+		c.OnStoreCommit = append(c.OnStoreCommit, func(addr uint64) {
+			priv.RequestWritable(addr&^63, prefetchClass, false, nil)
+		})
+	}
+	return c
+}
+
+// SetMechanism attaches the store drain policy.
+func (c *Core) SetMechanism(m DrainMechanism) { c.mech = m }
+
+// Priv exposes the private hierarchy (mechanisms and tests).
+func (c *Core) Priv() *memsys.Private { return c.priv }
+
+// StoreValue derives the deterministic 8-byte value a store writes;
+// workloads and the TSO checker agree on this function.
+func StoreValue(core int, seq uint64) [8]byte {
+	var v [8]byte
+	binary.LittleEndian.PutUint64(v[:], seq*0x9E3779B97F4A7C15+uint64(core)*0xBF58476D1CE4E5B9+1)
+	return v
+}
+
+func (c *Core) entry(seq uint64) *robEntry { return &c.rob[seq%uint64(len(c.rob))] }
+
+// Done reports the core has fully retired its trace, drained its SB
+// and mechanism, and has no in-flight memory operations.
+func (c *Core) Done() bool {
+	return c.eof && c.nextOp == nil && c.robCount == 0 && c.SB.Empty() &&
+		(c.mech == nil || c.mech.Drained())
+}
+
+// Tick advances the core by one cycle: commit, issue, dispatch, drain.
+func (c *Core) Tick() {
+	c.cCycles.Inc()
+	c.commit()
+	c.issue()
+	c.dispatch()
+	if c.mech != nil {
+		c.mech.Tick()
+	}
+}
+
+// ---------- Commit ----------
+
+func (c *Core) commit() {
+	for n := 0; n < c.cfg.CommitWidth && c.robCount > 0; n++ {
+		e := c.entry(c.robHead)
+		if !e.valid {
+			panic("cpu: ROB head invalid")
+		}
+		if e.op.Kind == isa.Fence {
+			// Serializing: wait until every OLDER store has drained and
+			// the mechanism has made it visible (Sec. III-A). Younger
+			// stores may already sit in the SB behind the fence.
+			if h := c.SB.Head(); h != nil && h.Seq < e.seq {
+				c.cFenceStall.Inc()
+				return
+			}
+			if c.mech != nil && !c.mech.FlushDone() {
+				c.cFenceStall.Inc()
+				return
+			}
+			e.done = true
+		}
+		if !e.done {
+			return
+		}
+		switch e.op.Kind {
+		case isa.Store:
+			e.sbEntry.Committed = true
+			if c.OnStoreData != nil {
+				c.OnStoreData(e.seq, e.op.Addr, e.op.Size, e.sbEntry.Data)
+			}
+			for _, f := range c.OnStoreCommit {
+				f(e.op.Addr)
+			}
+		case isa.Load:
+			c.lqCount--
+		case isa.Fence:
+			c.popFence(e.seq)
+		}
+		c.notifyWaiters(e) // in case anything waited on a fence
+		e.valid = false
+		c.robHead++
+		c.robCount--
+		c.cCommitted.Inc()
+	}
+}
+
+func (c *Core) popFence(seq uint64) {
+	for i, f := range c.fences {
+		if f == seq {
+			c.fences = append(c.fences[:i], c.fences[i+1:]...)
+			return
+		}
+	}
+}
+
+// blockedByFence reports whether a memory op at seq must wait for an
+// older in-flight fence.
+func (c *Core) blockedByFence(seq uint64) bool {
+	for _, f := range c.fences {
+		if f < seq {
+			return true
+		}
+	}
+	return false
+}
+
+// ---------- Issue / execute ----------
+
+func (c *Core) issue() {
+	issued := 0
+	simpleALU := c.cfg.SimpleALUs
+	complexALU := c.cfg.ComplexALUs
+
+	// Retry blocked loads first (oldest first), then fresh ready ops.
+	if len(c.blockedLoads) > 0 {
+		still := c.blockedLoads[:0]
+		for _, seq := range c.blockedLoads {
+			if issued >= c.cfg.IssueWidth {
+				still = append(still, seq)
+				continue
+			}
+			e := c.entry(seq)
+			if !e.valid || e.seq != seq || e.done || !e.issued {
+				continue
+			}
+			if c.tryLoad(e) {
+				issued++
+			} else {
+				still = append(still, seq)
+			}
+		}
+		c.blockedLoads = still
+	}
+
+	for issued < c.cfg.IssueWidth && len(c.ready) > 0 {
+		seq := c.ready[0]
+		e := c.entry(seq)
+		if !e.valid || e.seq != seq || e.issued {
+			heap.Pop(&c.ready)
+			continue
+		}
+		k := e.op.Kind
+		if k.IsALU() || k == isa.Nop || k == isa.Store {
+			// Structural hazard check: stores use an AGU slot on any ALU.
+			if k.Complex() {
+				if complexALU == 0 {
+					break
+				}
+			} else if simpleALU == 0 && complexALU == 0 {
+				break
+			}
+			heap.Pop(&c.ready)
+			if k.Complex() {
+				complexALU--
+			} else if simpleALU > 0 {
+				simpleALU--
+			} else {
+				complexALU--
+			}
+			e.issued = true
+			issued++
+			c.execute(e)
+			continue
+		}
+		if k == isa.Load {
+			if c.blockedByFence(seq) {
+				heap.Pop(&c.ready)
+				e.issued = true
+				c.blockedLoads = append(c.blockedLoads, seq)
+				continue
+			}
+			heap.Pop(&c.ready)
+			e.issued = true
+			issued++
+			if !c.tryLoad(e) {
+				c.blockedLoads = append(c.blockedLoads, seq)
+			}
+			continue
+		}
+		// Fence: becomes "done" at commit time; nothing to issue.
+		heap.Pop(&c.ready)
+		e.issued = true
+	}
+}
+
+func (c *Core) latencyOf(k isa.Kind) uint64 {
+	switch k {
+	case isa.IntAdd, isa.Nop:
+		return c.cfg.IntAddLat
+	case isa.IntMul:
+		return c.cfg.IntMulLat
+	case isa.IntDiv:
+		return c.cfg.IntDivLat
+	case isa.FPAdd:
+		return c.cfg.FPAddLat
+	case isa.FPMul:
+		return c.cfg.FPMulLat
+	case isa.FPDiv:
+		return c.cfg.FPDivLat
+	case isa.Store:
+		return 1 // address generation
+	}
+	return 1
+}
+
+func (c *Core) execute(e *robEntry) {
+	seq := e.seq
+	lat := c.latencyOf(e.op.Kind)
+	c.q.After(lat, func() {
+		e2 := c.entry(seq)
+		if !e2.valid || e2.seq != seq {
+			return
+		}
+		if e2.op.Kind == isa.Store {
+			e2.sbEntry.Data = StoreValue(c.ID, seq)
+			c.SB.MarkExecuted(e2.sbEntry)
+			if c.OnStoreExec != nil {
+				c.OnStoreExec(seq, e2.op.Addr, e2.op.Size, e2.sbEntry.Data)
+			}
+		}
+		c.complete(e2)
+	})
+}
+
+func (c *Core) complete(e *robEntry) {
+	e.done = true
+	c.notifyWaiters(e)
+}
+
+func (c *Core) notifyWaiters(e *robEntry) {
+	ws := e.waiters
+	e.waiters = nil
+	for _, w := range ws {
+		d := c.entry(w)
+		if !d.valid || d.seq != w {
+			continue
+		}
+		d.depCount--
+		if d.depCount == 0 && !d.issued {
+			heap.Push(&c.ready, w)
+		}
+	}
+}
+
+// tryLoad attempts the full load path; false means retry next cycle.
+func (c *Core) tryLoad(e *robEntry) bool {
+	if c.blockedByFence(e.seq) {
+		return false
+	}
+	addr, size := e.op.Addr, e.op.Size
+	seq := e.seq
+
+	// 1. SB search (every load pays it: the CAM energy of the paper).
+	c.cSBSearch.Inc()
+	res, data := c.SB.Search(seq, addr, size)
+	switch res {
+	case FwdHit:
+		c.cFwdHits.Inc()
+		c.q.After(c.cfg.ForwardLatency(), func() { c.finishLoad(seq, data) })
+		return true
+	case FwdConflict:
+		c.cFwdConflicts.Inc()
+		return false
+	}
+
+	// 2. Mechanism-held stores (WCBs / TSOB).
+	if c.mech != nil {
+		mres, mdata := c.mech.Forward(addr, size)
+		switch mres {
+		case FwdHit:
+			c.cMechFwd.Inc()
+			c.q.After(c.cfg.ForwardLatency(), func() { c.finishLoad(seq, mdata) })
+			return true
+		case FwdConflict:
+			return false
+		}
+	}
+
+	// 3. L1D (which internally handles unauthorized-line aliasing).
+	return c.priv.Load(addr, size, func(b []byte) {
+		var v [8]byte
+		copy(v[:], b)
+		c.finishLoad(seq, v)
+	})
+}
+
+func (c *Core) finishLoad(seq uint64, value [8]byte) {
+	e := c.entry(seq)
+	if !e.valid || e.seq != seq || e.done {
+		return
+	}
+	if c.OnLoadValue != nil {
+		c.OnLoadValue(c.ID, seq, e.op.Addr, e.op.Size, value)
+	}
+	c.complete(e)
+}
+
+// ---------- Dispatch ----------
+
+func (c *Core) fetchNext() *isa.MicroOp {
+	if c.nextOp != nil {
+		return c.nextOp
+	}
+	if c.eof {
+		return nil
+	}
+	op, ok := c.stream.Next()
+	if !ok {
+		c.eof = true
+		return nil
+	}
+	c.nextOp = &op
+	return c.nextOp
+}
+
+func (c *Core) dispatch() {
+	dispatched := 0
+	var stall *stats.Counter
+	for dispatched < c.frontWidth {
+		op := c.fetchNext()
+		if op == nil {
+			break
+		}
+		if c.robCount == len(c.rob) {
+			stall = c.cStallROB
+			break
+		}
+		switch op.Kind {
+		case isa.Load:
+			if c.lqCount == c.cfg.LQEntries {
+				stall = c.cStallLQ
+			}
+		case isa.Store:
+			if c.SB.Full() {
+				stall = c.cStallSB
+			}
+		}
+		if stall != nil {
+			break
+		}
+		c.dispatchOp(*op)
+		c.nextOp = nil
+		dispatched++
+	}
+	if dispatched == 0 && stall != nil {
+		stall.Inc()
+	}
+}
+
+func (c *Core) dispatchOp(op isa.MicroOp) {
+	seq := c.seq
+	c.seq++
+	e := c.entry(seq)
+	*e = robEntry{seq: seq, op: op, valid: true}
+	c.robCount++
+	if c.robCount == 1 {
+		c.robHead = seq
+	}
+
+	switch op.Kind {
+	case isa.Load:
+		c.lqCount++
+		c.cLoads.Inc()
+	case isa.Store:
+		e.sbEntry = c.SB.Push(seq, op.Addr, op.Size)
+		c.cStores.Inc()
+	case isa.Fence:
+		c.fences = append(c.fences, seq)
+	}
+
+	// Wire data dependencies (backward distances).
+	for _, d := range []uint16{op.Dep1, op.Dep2} {
+		if d == 0 {
+			continue
+		}
+		pseq := seq - uint64(d)
+		if pseq >= c.robHead && pseq < seq {
+			p := c.entry(pseq)
+			if p.valid && p.seq == pseq && !p.done {
+				p.waiters = append(p.waiters, seq)
+				e.depCount++
+			}
+		}
+	}
+	if e.depCount == 0 {
+		heap.Push(&c.ready, seq)
+	}
+}

@@ -1,0 +1,112 @@
+package cpu
+
+import (
+	"testing"
+
+	"tusim/internal/config"
+	"tusim/internal/isa"
+)
+
+// TestForwardLatencyScalesWithSBSize measures the store-to-load
+// forwarding latency directly: a store followed by a dependent load
+// completes faster with a smaller SB (5/4/3 cycles at 114/64/32).
+func TestForwardLatencyScalesWithSBSize(t *testing.T) {
+	measure := func(sbSize int) uint64 {
+		ops := []isa.MicroOp{
+			{Kind: isa.Store, Addr: 0x1000, Size: 8},
+			{Kind: isa.Load, Addr: 0x1000, Size: 8, Dep1: 1},
+		}
+		r := newCoreRig(t, ops, func(c *config.Config) { c.SBEntries = sbSize })
+		var bound uint64
+		r.core.OnLoadValue = func(core int, seq, addr uint64, size uint8, v [8]byte) {
+			bound = r.q.Now()
+		}
+		r.run(t, 100_000)
+		return bound
+	}
+	t114 := measure(114)
+	t64 := measure(64)
+	t32 := measure(32)
+	if !(t32 < t64 && t64 < t114) {
+		t.Fatalf("forward bind times: sb114=%d sb64=%d sb32=%d; want strictly decreasing", t114, t64, t32)
+	}
+	if t114-t32 != 2 {
+		t.Fatalf("114 vs 32 forwarding delta = %d cycles, want 2 (5c -> 3c)", t114-t32)
+	}
+}
+
+// TestLQStallAttribution fills a tiny load queue with slow misses.
+func TestLQStallAttribution(t *testing.T) {
+	var ops []isa.MicroOp
+	for i := 0; i < 300; i++ {
+		ops = append(ops, isa.MicroOp{Kind: isa.Load, Addr: uint64(i) * 4096, Size: 8})
+	}
+	r := newCoreRig(t, ops, func(c *config.Config) { c.LQEntries = 4 })
+	r.run(t, 5_000_000)
+	if r.st.Get("stall_lq") == 0 {
+		t.Fatal("no LQ stalls with a 4-entry LQ and 300 cold loads")
+	}
+	if r.st.Get("stall_sb") != 0 {
+		t.Fatal("SB stalls attributed on a store-free trace")
+	}
+}
+
+// TestSimpleALUThroughput: with only the 1 simple ALU (complex units
+// removed), independent adds serialize to ~1 per cycle.
+func TestSimpleALUThroughput(t *testing.T) {
+	var ops []isa.MicroOp
+	for i := 0; i < 200; i++ {
+		ops = append(ops, isa.MicroOp{Kind: isa.IntAdd})
+	}
+	r := newCoreRig(t, ops, func(c *config.Config) { c.ComplexALUs = 0; c.SimpleALUs = 1 })
+	r.run(t, 100_000)
+	if cyc := r.st.Get("cycles"); cyc < 200 {
+		t.Fatalf("200 adds in %d cycles through one ALU", cyc)
+	}
+}
+
+// TestComplexOpsNeedComplexALU: FP work cannot use the simple ALU.
+func TestComplexOpsNeedComplexALU(t *testing.T) {
+	var ops []isa.MicroOp
+	for i := 0; i < 90; i++ {
+		ops = append(ops, isa.MicroOp{Kind: isa.FPMul})
+	}
+	fast := func(complexALUs int) uint64 {
+		r := newCoreRig(t, ops, func(c *config.Config) { c.ComplexALUs = complexALUs })
+		r.run(t, 100_000)
+		return r.st.Get("cycles")
+	}
+	three := fast(3)
+	one := fast(1)
+	if one <= three {
+		t.Fatalf("1 complex ALU (%d cyc) not slower than 3 (%d cyc)", one, three)
+	}
+}
+
+// TestPartialForwardConflictResolves: a load partially covered by an
+// older store must wait for the drain, then read the merged bytes from
+// the L1D.
+func TestPartialForwardConflictResolves(t *testing.T) {
+	ops := []isa.MicroOp{
+		{Kind: isa.Store, Addr: 0x1000, Size: 4}, // bytes 0-3
+		{Kind: isa.Load, Addr: 0x1000, Size: 8, Dep1: 1},
+	}
+	r := newCoreRig(t, ops, nil)
+	var got [8]byte
+	r.core.OnLoadValue = func(core int, seq, addr uint64, size uint8, v [8]byte) { got = v }
+	r.run(t, 1_000_000)
+	if r.st.Get("sb_forward_conflicts") == 0 {
+		t.Fatal("partial overlap did not register a forwarding conflict")
+	}
+	want := StoreValue(0, 0)
+	for i := 0; i < 4; i++ {
+		if got[i] != want[i] {
+			t.Fatalf("merged load = %v, want store prefix %v", got, want[:4])
+		}
+	}
+	for i := 4; i < 8; i++ {
+		if got[i] != 0 {
+			t.Fatalf("bytes beyond the store should be zero: %v", got)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"tusim/internal/config"
+	"tusim/internal/stats"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// TestCAMCalibration checks the analytic CAM model against the paper's
+// own published ratios (abstract and Sec. V).
+func TestCAMCalibration(t *testing.T) {
+	// 114-entry SB uses 2x the energy per search of a 32-entry SB.
+	if r := SBEnergyRatio(114, 32); !approx(r, 2.0, 0.01) {
+		t.Errorf("SB energy ratio 114/32 = %.3f, want 2.0", r)
+	}
+	// Area saving of 21% going 114 -> 32.
+	if r := SBAreaReduction(114, 32); !approx(r, 0.21, 0.005) {
+		t.Errorf("SB area reduction = %.3f, want 0.21", r)
+	}
+	// WOQ is 13x smaller than the 114-entry SB.
+	if r := SBCAM.Area(114) / WOQArea(); !approx(r, 13, 0.01) {
+		t.Errorf("WOQ area ratio = %.2f, want 13", r)
+	}
+	// WOQ uses 10x less energy per search than the 114-entry SB.
+	if r := SBCAM.SearchEnergy(114) / WOQSearchEnergy(); !approx(r, 10, 0.01) {
+		t.Errorf("WOQ energy ratio vs 114 = %.2f, want 10", r)
+	}
+	// And 5x less than a 32-entry SB.
+	if r := SBCAM.SearchEnergy(32) / WOQSearchEnergy(); !approx(r, 5, 0.01) {
+		t.Errorf("WOQ energy ratio vs 32 = %.2f, want 5", r)
+	}
+}
+
+func TestCAMMonotonic(t *testing.T) {
+	prev := 0.0
+	for n := 8; n <= 256; n *= 2 {
+		e := SBCAM.SearchEnergy(n)
+		if e <= prev {
+			t.Fatalf("energy not monotonic at %d entries", n)
+		}
+		prev = e
+	}
+}
+
+func TestEnergyBreakdown(t *testing.T) {
+	cfg := config.Default()
+	m := New(cfg)
+	st := stats.NewSet("t")
+	st.Counter("committed_ops").Add(1000)
+	st.Counter("sb_searches").Add(400)
+	st.Counter("l1d_reads").Add(400)
+	st.Counter("l1d_writes").Add(100)
+	st.Counter("l2_hits").Add(50)
+	st.Counter("dram_accesses").Add(10)
+	b := m.Energy(st, 5000)
+	if b.Core != 1000*m.P.CoreDynamic {
+		t.Errorf("Core = %f", b.Core)
+	}
+	if b.SB != 400*SBCAM.SearchEnergy(114) {
+		t.Errorf("SB = %f", b.SB)
+	}
+	if b.DRAM != 10*m.P.DRAMAccess {
+		t.Errorf("DRAM = %f", b.DRAM)
+	}
+	if b.Leakage != 5000*m.P.LeakagePerCycle {
+		t.Errorf("Leakage = %f", b.Leakage)
+	}
+	if b.Total() <= 0 {
+		t.Error("total energy must be positive")
+	}
+	// EDP = E * delay.
+	if edp := m.EDP(st, 5000); !approx(edp, b.Total()*5000, 1) {
+		t.Errorf("EDP = %f", edp)
+	}
+}
+
+// TestSmallerSBSavesSBEnergy verifies the per-search energy scales down
+// with SB size in the full model.
+func TestSmallerSBSavesSBEnergy(t *testing.T) {
+	st := stats.NewSet("t")
+	st.Counter("sb_searches").Add(1000)
+	big := New(config.Default().WithSB(114)).Energy(st, 100).SB
+	small := New(config.Default().WithSB(32)).Energy(st, 100).SB
+	if !approx(big/small, 2.0, 0.01) {
+		t.Errorf("SB energy scaling = %.3f, want 2.0", big/small)
+	}
+}
+
+// TestSSBLLCWritesCharged verifies SSB's per-store shared-cache writes
+// appear in the LLC component (its EDP penalty in the paper).
+func TestSSBLLCWritesCharged(t *testing.T) {
+	cfg := config.Default()
+	m := New(cfg)
+	a := stats.NewSet("a")
+	b := stats.NewSet("b")
+	b.Counter("ssb_llc_writes").Add(500)
+	ea := m.Energy(a, 100).LLC
+	eb := m.Energy(b, 100).LLC
+	if eb-ea != 500*m.P.LLCAccess {
+		t.Errorf("SSB LLC writes not charged: %f vs %f", ea, eb)
+	}
+}
+
+// TestWOQStorage checks the 272-byte WOQ claim (64 entries x 34 bits).
+func TestWOQStorage(t *testing.T) {
+	if bytes := 64 * 34 / 8; bytes != 272 {
+		t.Fatalf("WOQ storage = %d bytes, want 272", bytes)
+	}
+}

@@ -1,0 +1,116 @@
+// Package event provides the deterministic discrete-event kernel that
+// drives all timing in the simulator. Every component schedules
+// callbacks on a single Queue; the simulation advances by executing
+// events in (cycle, insertion-order) order, which makes every run
+// bit-for-bit reproducible for a given seed.
+package event
+
+import "container/heap"
+
+// Func is a callback executed when its event fires.
+type Func func()
+
+type item struct {
+	cycle uint64
+	seq   uint64 // tie-breaker: FIFO among events at the same cycle
+	fn    Func
+}
+
+type itemHeap []item
+
+func (h itemHeap) Len() int { return len(h) }
+
+func (h itemHeap) Less(i, j int) bool {
+	if h[i].cycle != h[j].cycle {
+		return h[i].cycle < h[j].cycle
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h itemHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *itemHeap) Push(x any) { *h = append(*h, x.(item)) }
+
+func (h *itemHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Queue is a discrete-event scheduler keyed by clock cycle.
+// The zero value is ready to use.
+type Queue struct {
+	now  uint64
+	seq  uint64
+	heap itemHeap
+}
+
+// NewQueue returns an empty event queue at cycle 0.
+func NewQueue() *Queue { return &Queue{} }
+
+// Now reports the current cycle.
+func (q *Queue) Now() uint64 { return q.now }
+
+// Len reports the number of pending events.
+func (q *Queue) Len() int { return len(q.heap) }
+
+// At schedules fn to run at the given absolute cycle. Scheduling in the
+// past (or at the current cycle) runs the event before time advances
+// again, preserving causality.
+func (q *Queue) At(cycle uint64, fn Func) {
+	if cycle < q.now {
+		cycle = q.now
+	}
+	q.seq++
+	heap.Push(&q.heap, item{cycle: cycle, seq: q.seq, fn: fn})
+}
+
+// After schedules fn to run delay cycles from now.
+func (q *Queue) After(delay uint64, fn Func) { q.At(q.now+delay, fn) }
+
+// RunDue executes every event scheduled at or before the current cycle.
+// Events may schedule further events for the same cycle; those run too.
+func (q *Queue) RunDue() {
+	for len(q.heap) > 0 && q.heap[0].cycle <= q.now {
+		it := heap.Pop(&q.heap).(item)
+		it.fn()
+	}
+}
+
+// Advance moves the clock forward by one cycle and runs all events due
+// at the new cycle.
+func (q *Queue) Advance() {
+	q.now++
+	q.RunDue()
+}
+
+// AdvanceTo moves the clock to the given cycle, running every
+// intervening event in order. It is a no-op if cycle <= Now().
+func (q *Queue) AdvanceTo(cycle uint64) {
+	for q.now < cycle {
+		if len(q.heap) == 0 || q.heap[0].cycle > cycle {
+			q.now = cycle
+			return
+		}
+		next := q.heap[0].cycle
+		if next > q.now {
+			q.now = next
+		}
+		q.RunDue()
+	}
+}
+
+// Drain runs events until the queue is empty, advancing time as needed,
+// or until maxCycle is reached. It returns the final cycle.
+func (q *Queue) Drain(maxCycle uint64) uint64 {
+	for len(q.heap) > 0 && q.heap[0].cycle <= maxCycle {
+		next := q.heap[0].cycle
+		if next > q.now {
+			q.now = next
+		}
+		q.RunDue()
+	}
+	return q.now
+}

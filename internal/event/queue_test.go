@@ -1,0 +1,128 @@
+package event
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestQueueOrdering(t *testing.T) {
+	q := NewQueue()
+	var got []int
+	q.At(5, func() { got = append(got, 5) })
+	q.At(1, func() { got = append(got, 1) })
+	q.At(3, func() { got = append(got, 3) })
+	q.Drain(100)
+	want := []int{1, 3, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if q.Now() != 5 {
+		t.Fatalf("Now = %d, want 5", q.Now())
+	}
+}
+
+func TestQueueFIFOWithinCycle(t *testing.T) {
+	q := NewQueue()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		q.At(7, func() { got = append(got, i) })
+	}
+	q.Drain(7)
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("same-cycle events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestQueueAfter(t *testing.T) {
+	q := NewQueue()
+	fired := uint64(0)
+	q.AdvanceTo(10)
+	q.After(5, func() { fired = q.Now() })
+	q.Drain(100)
+	if fired != 15 {
+		t.Fatalf("After(5) fired at %d, want 15", fired)
+	}
+}
+
+func TestQueuePastSchedulingClamps(t *testing.T) {
+	q := NewQueue()
+	q.AdvanceTo(20)
+	ran := false
+	q.At(3, func() { ran = true })
+	q.RunDue()
+	if !ran {
+		t.Fatal("event scheduled in the past never ran")
+	}
+	if q.Now() != 20 {
+		t.Fatalf("Now = %d, want 20", q.Now())
+	}
+}
+
+func TestQueueCascade(t *testing.T) {
+	// Events scheduling same-cycle events must run before time advances.
+	q := NewQueue()
+	depth := 0
+	var rec func()
+	rec = func() {
+		depth++
+		if depth < 5 {
+			q.After(0, rec)
+		}
+	}
+	q.At(2, rec)
+	q.AdvanceTo(2)
+	if depth != 5 {
+		t.Fatalf("cascade depth = %d, want 5", depth)
+	}
+}
+
+func TestQueueAdvanceSkipsIdleTime(t *testing.T) {
+	q := NewQueue()
+	q.At(1000, func() {})
+	q.AdvanceTo(500)
+	if q.Now() != 500 {
+		t.Fatalf("Now = %d, want 500", q.Now())
+	}
+	if q.Len() != 1 {
+		t.Fatalf("event fired early")
+	}
+}
+
+func TestQueueRandomizedOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	q := NewQueue()
+	var fired []uint64
+	cycles := make([]uint64, 500)
+	for i := range cycles {
+		c := uint64(rng.Intn(10000))
+		cycles[i] = c
+		q.At(c, func() { fired = append(fired, c) })
+	}
+	q.Drain(1 << 20)
+	if len(fired) != len(cycles) {
+		t.Fatalf("fired %d events, want %d", len(fired), len(cycles))
+	}
+	if !sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] }) {
+		t.Fatal("events fired out of cycle order")
+	}
+}
+
+func TestQueueDrainRespectsMaxCycle(t *testing.T) {
+	q := NewQueue()
+	ran := false
+	q.At(50, func() { ran = true })
+	q.Drain(49)
+	if ran {
+		t.Fatal("Drain ran event past maxCycle")
+	}
+	q.Drain(50)
+	if !ran {
+		t.Fatal("Drain skipped due event")
+	}
+}

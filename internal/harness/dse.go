@@ -1,0 +1,103 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"tusim/internal/config"
+	"tusim/internal/system"
+	"tusim/internal/workload"
+)
+
+// DSEPoint is one configuration of a design-space sweep.
+type DSEPoint struct {
+	Label  string
+	Bench  string
+	Cycles uint64
+	// SpeedupVsDefault is relative to the paper's chosen configuration.
+	SpeedupVsDefault float64
+}
+
+// DSE reproduces the paper's design-space exploration (Sec. VI): sweeps
+// of WOQ size, WCB count, maximum atomic-group length, and the
+// coalescing ablation, all on TUS with a representative SB-bound
+// workload. The paper's conclusions to check: 64 WOQ entries and 2
+// WCBs are cost-effective, and group lengths beyond 8 stop mattering
+// for sequential applications.
+func DSE(r *Runner, benchName string) ([]DSEPoint, error) {
+	b, ok := workload.ByName(benchName)
+	if !ok {
+		return nil, fmt.Errorf("harness: unknown benchmark %q", benchName)
+	}
+	run := func(mut func(*config.Config)) (uint64, error) {
+		cfg := config.Default().WithMechanism(config.TUS).WithCores(b.Threads)
+		mut(cfg)
+		sys, err := system.New(cfg, b.Streams(r.Seed, r.ops(b)))
+		if err != nil {
+			return 0, err
+		}
+		sys.WarmupOps = uint64(r.ops(b)) * uint64(b.Threads) / 3
+		if err := sys.Run(); err != nil {
+			return 0, err
+		}
+		return sys.Cycles, nil
+	}
+
+	base, err := run(func(*config.Config) {})
+	if err != nil {
+		return nil, err
+	}
+
+	var out []DSEPoint
+	add := func(label string, mut func(*config.Config)) error {
+		cyc, err := run(mut)
+		if err != nil {
+			return fmt.Errorf("harness: DSE %s: %w", label, err)
+		}
+		out = append(out, DSEPoint{
+			Label:            label,
+			Bench:            benchName,
+			Cycles:           cyc,
+			SpeedupVsDefault: float64(base) / float64(cyc),
+		})
+		return nil
+	}
+
+	for _, n := range []int{16, 32, 64, 128} {
+		n := n
+		if err := add(fmt.Sprintf("WOQ=%d", n), func(c *config.Config) { c.WOQEntries = n }); err != nil {
+			return nil, err
+		}
+	}
+	for _, n := range []int{1, 2, 4} {
+		n := n
+		if err := add(fmt.Sprintf("WCBs=%d", n), func(c *config.Config) { c.WCBCount = n }); err != nil {
+			return nil, err
+		}
+	}
+	for _, n := range []int{4, 8, 16, 32} {
+		n := n
+		if err := add(fmt.Sprintf("maxGroup=%d", n), func(c *config.Config) { c.MaxAtomicGroup = n }); err != nil {
+			return nil, err
+		}
+	}
+	if err := add("no-coalescing", func(c *config.Config) { c.TUSCoalesce = false }); err != nil {
+		return nil, err
+	}
+	if err := add("no-prefetch-at-commit", func(c *config.Config) { c.PrefetchAtCommit = false }); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// PrintDSE renders the sweep.
+func PrintDSE(w io.Writer, points []DSEPoint) {
+	if len(points) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "TUS design-space exploration on %s (vs the paper's WOQ=64/WCB=2/group<=16):\n",
+		points[0].Bench)
+	for _, p := range points {
+		fmt.Fprintf(w, "  %-24s %10d cycles  %+6.1f%%\n", p.Label, p.Cycles, 100*(p.SpeedupVsDefault-1))
+	}
+}

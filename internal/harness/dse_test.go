@@ -1,0 +1,42 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDSEStructure(t *testing.T) {
+	r := NewQuickRunner()
+	r.Ops = 4000
+	points, err := DSE(r, "502.gcc2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 WOQ + 3 WCB + 4 group + 2 ablations.
+	if len(points) != 13 {
+		t.Fatalf("points = %d, want 13", len(points))
+	}
+	labels := map[string]bool{}
+	for _, p := range points {
+		if p.Cycles == 0 {
+			t.Fatalf("%s: zero cycles", p.Label)
+		}
+		labels[p.Label] = true
+	}
+	for _, want := range []string{"WOQ=64", "WCBs=2", "maxGroup=16", "no-coalescing", "no-prefetch-at-commit"} {
+		if !labels[want] {
+			t.Fatalf("missing DSE point %q", want)
+		}
+	}
+	var sb strings.Builder
+	PrintDSE(&sb, points)
+	if !strings.Contains(sb.String(), "WOQ=128") {
+		t.Fatal("PrintDSE output incomplete")
+	}
+}
+
+func TestDSEUnknownBenchmark(t *testing.T) {
+	if _, err := DSE(NewQuickRunner(), "no-such-bench"); err == nil {
+		t.Fatal("DSE accepted an unknown benchmark")
+	}
+}

@@ -1,0 +1,386 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"tusim/internal/config"
+	"tusim/internal/energy"
+	"tusim/internal/workload"
+)
+
+// SBSizes are the store buffer sizes of the scalability study (Fig. 8).
+var SBSizes = []int{32, 64, 114}
+
+// Fig8Row is one (suite, SB size) series of geomean speedups relative
+// to the 114-entry-SB baseline.
+type Fig8Row struct {
+	Suite   string
+	SB      int
+	Speedup map[config.Mechanism]float64
+}
+
+// Fig8 regenerates the scalability analysis: geomean speedup over the
+// 114-entry baseline for every mechanism, SB size, and suite.
+func Fig8(r *Runner) ([]Fig8Row, error) {
+	spec := make([]workload.Benchmark, 0, 8)
+	tf := make([]workload.Benchmark, 0, 4)
+	for _, b := range workload.SBBound() {
+		if b.Suite == workload.TF {
+			tf = append(tf, b)
+		} else {
+			spec = append(spec, b)
+		}
+	}
+	suites := []struct {
+		name   string
+		benchs []workload.Benchmark
+	}{
+		{"SPEC-ST(SB-bound)", spec},
+		{"TF", tf},
+		{"Parsec", workload.BySuite(workload.Parsec)},
+	}
+	var rows []Fig8Row
+	for _, s := range suites {
+		for _, sb := range SBSizes {
+			row := Fig8Row{Suite: s.name, SB: sb, Speedup: map[config.Mechanism]float64{}}
+			for _, m := range config.Mechanisms {
+				var sp []float64
+				for _, b := range s.benchs {
+					base, err := r.Run(b, config.Baseline, 114)
+					if err != nil {
+						return nil, err
+					}
+					res, err := r.Run(b, m, sb)
+					if err != nil {
+						return nil, err
+					}
+					sp = append(sp, Speedup(res, base))
+				}
+				row.Speedup[m] = Geomean(sp)
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// PrintFig8 renders the Fig. 8 table.
+func PrintFig8(w io.Writer, rows []Fig8Row) {
+	fmt.Fprintln(w, "Figure 8: geomean speedup vs 114-entry-SB baseline, by SB size")
+	fmt.Fprintf(w, "%-20s %4s", "suite", "SB")
+	for _, m := range config.Mechanisms {
+		fmt.Fprintf(w, " %8s", m)
+	}
+	fmt.Fprintln(w)
+	for _, row := range rows {
+		fmt.Fprintf(w, "%-20s %4d", row.Suite, row.SB)
+		for _, m := range config.Mechanisms {
+			fmt.Fprintf(w, " %+7.1f%%", 100*(row.Speedup[m]-1))
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// Fig9Row is one benchmark's SB-induced stall fractions per mechanism.
+type Fig9Row struct {
+	Bench  string
+	Stalls map[config.Mechanism]float64 // % of cycles
+}
+
+// Fig9 regenerates the SB-induced dispatch stall breakdown (114 SB,
+// single-threaded SB-bound set, sorted by baseline stalls).
+func Fig9(r *Runner) ([]Fig9Row, error) {
+	benchs, err := r.sbBoundSorted(114)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig9Row
+	for _, b := range benchs {
+		row := Fig9Row{Bench: b.Name, Stalls: map[config.Mechanism]float64{}}
+		for _, m := range config.Mechanisms {
+			res, err := r.Run(b, m, 114)
+			if err != nil {
+				return nil, err
+			}
+			row.Stalls[m] = res.SBStallPct()
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PrintFig9 renders the Fig. 9 table.
+func PrintFig9(w io.Writer, rows []Fig9Row) {
+	fmt.Fprintln(w, "Figure 9: SB-induced stalls (% of cycles), 114-entry SB, ST SB-bound (lower is better)")
+	fmt.Fprintf(w, "%-16s", "benchmark")
+	for _, m := range config.Mechanisms {
+		fmt.Fprintf(w, " %7s", m)
+	}
+	fmt.Fprintln(w)
+	avg := map[config.Mechanism]float64{}
+	for _, row := range rows {
+		fmt.Fprintf(w, "%-16s", row.Bench)
+		for _, m := range config.Mechanisms {
+			fmt.Fprintf(w, " %6.1f%%", row.Stalls[m])
+			avg[m] += row.Stalls[m]
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "%-16s", "average")
+	for _, m := range config.Mechanisms {
+		fmt.Fprintf(w, " %6.1f%%", avg[m]/float64(len(rows)))
+	}
+	fmt.Fprintln(w)
+}
+
+// SpeedupStudy holds the data behind Figs. 10/13: an S-curve over every
+// application plus the per-benchmark SB-bound breakdown, normalized to
+// a baseline with the given SB size.
+type SpeedupStudy struct {
+	BaselineSB int
+	MechSB     int
+	// SCurves: per mechanism, sorted speedups over all applications.
+	SCurves map[config.Mechanism][]float64
+	// Breakdown: per SB-bound ST benchmark (sorted by stalls).
+	Breakdown []SpeedupRow
+	// Geomean over the SB-bound set.
+	Geomean map[config.Mechanism]float64
+}
+
+// SpeedupRow is one benchmark's speedups per mechanism.
+type SpeedupRow struct {
+	Bench    string
+	Speedups map[config.Mechanism]float64
+}
+
+// Speedups regenerates Fig. 10 (baselineSB=114) or Fig. 13
+// (baselineSB=32): every mechanism runs with mechSB entries and is
+// normalized to the baseline with baselineSB entries.
+func Speedups(r *Runner, baselineSB, mechSB int) (*SpeedupStudy, error) {
+	study := &SpeedupStudy{
+		BaselineSB: baselineSB,
+		MechSB:     mechSB,
+		SCurves:    map[config.Mechanism][]float64{},
+		Geomean:    map[config.Mechanism]float64{},
+	}
+	all := workload.All()
+	for _, m := range config.Mechanisms {
+		var sp []float64
+		for _, b := range all {
+			base, err := r.Run(b, config.Baseline, baselineSB)
+			if err != nil {
+				return nil, err
+			}
+			res, err := r.Run(b, m, mechSB)
+			if err != nil {
+				return nil, err
+			}
+			sp = append(sp, Speedup(res, base))
+		}
+		study.SCurves[m] = SCurve(sp)
+	}
+	benchs, err := r.sbBoundSorted(baselineSB)
+	if err != nil {
+		return nil, err
+	}
+	gm := map[config.Mechanism][]float64{}
+	for _, b := range benchs {
+		row := SpeedupRow{Bench: b.Name, Speedups: map[config.Mechanism]float64{}}
+		base, err := r.Run(b, config.Baseline, baselineSB)
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range config.Mechanisms {
+			res, err := r.Run(b, m, mechSB)
+			if err != nil {
+				return nil, err
+			}
+			row.Speedups[m] = Speedup(res, base)
+			gm[m] = append(gm[m], row.Speedups[m])
+		}
+		study.Breakdown = append(study.Breakdown, row)
+	}
+	for m, xs := range gm {
+		study.Geomean[m] = Geomean(xs)
+	}
+	return study, nil
+}
+
+// Print renders the study in the paper's two-panel layout.
+func (s *SpeedupStudy) Print(w io.Writer, figure string) {
+	fmt.Fprintf(w, "%s: speedup normalized to %d-entry-SB baseline (mechanisms at SB=%d)\n",
+		figure, s.BaselineSB, s.MechSB)
+	fmt.Fprintln(w, "left panel - S-curve over all applications (sorted speedups):")
+	for _, m := range config.Mechanisms {
+		curve := s.SCurves[m]
+		var sb strings.Builder
+		for _, x := range curve {
+			fmt.Fprintf(&sb, " %+5.1f", 100*(x-1))
+		}
+		fmt.Fprintf(w, "  %-5s%s\n", m, sb.String())
+	}
+	fmt.Fprintln(w, "right panel - ST SB-bound breakdown:")
+	fmt.Fprintf(w, "  %-16s", "benchmark")
+	for _, m := range config.Mechanisms {
+		fmt.Fprintf(w, " %8s", m)
+	}
+	fmt.Fprintln(w)
+	for _, row := range s.Breakdown {
+		fmt.Fprintf(w, "  %-16s", row.Bench)
+		for _, m := range config.Mechanisms {
+			fmt.Fprintf(w, " %+7.1f%%", 100*(row.Speedups[m]-1))
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "  %-16s", "geomean")
+	for _, m := range config.Mechanisms {
+		fmt.Fprintf(w, " %+7.1f%%", 100*(s.Geomean[m]-1))
+	}
+	fmt.Fprintln(w)
+}
+
+// EDPStudy holds Figs. 11/15 (ST SB-bound) or the EDP halves of
+// Figs. 12/14 (Parsec): EDP normalized to the baseline.
+type EDPStudy struct {
+	BaselineSB int
+	MechSB     int
+	Rows       []EDPRow
+	Geomean    map[config.Mechanism]float64
+}
+
+// EDPRow is one benchmark's normalized EDP per mechanism.
+type EDPRow struct {
+	Bench string
+	EDP   map[config.Mechanism]float64 // normalized; lower is better
+}
+
+// EDP regenerates an EDP figure over the given benchmark set.
+func EDP(r *Runner, benchs []workload.Benchmark, baselineSB, mechSB int) (*EDPStudy, error) {
+	study := &EDPStudy{
+		BaselineSB: baselineSB,
+		MechSB:     mechSB,
+		Geomean:    map[config.Mechanism]float64{},
+	}
+	gm := map[config.Mechanism][]float64{}
+	for _, b := range benchs {
+		base, err := r.Run(b, config.Baseline, baselineSB)
+		if err != nil {
+			return nil, err
+		}
+		row := EDPRow{Bench: b.Name, EDP: map[config.Mechanism]float64{}}
+		for _, m := range config.Mechanisms {
+			res, err := r.Run(b, m, mechSB)
+			if err != nil {
+				return nil, err
+			}
+			row.EDP[m] = res.EDP / base.EDP
+			gm[m] = append(gm[m], row.EDP[m])
+		}
+		study.Rows = append(study.Rows, row)
+	}
+	for m, xs := range gm {
+		study.Geomean[m] = Geomean(xs)
+	}
+	return study, nil
+}
+
+// Print renders the EDP table.
+func (s *EDPStudy) Print(w io.Writer, figure string) {
+	fmt.Fprintf(w, "%s: EDP normalized to %d-entry-SB baseline (mechanisms at SB=%d, lower is better)\n",
+		figure, s.BaselineSB, s.MechSB)
+	fmt.Fprintf(w, "  %-16s", "benchmark")
+	for _, m := range config.Mechanisms {
+		fmt.Fprintf(w, " %8s", m)
+	}
+	fmt.Fprintln(w)
+	for _, row := range s.Rows {
+		fmt.Fprintf(w, "  %-16s", row.Bench)
+		for _, m := range config.Mechanisms {
+			fmt.Fprintf(w, " %8.3f", row.EDP[m])
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "  %-16s", "geomean")
+	for _, m := range config.Mechanisms {
+		fmt.Fprintf(w, " %8.3f", s.Geomean[m])
+	}
+	fmt.Fprintln(w)
+}
+
+// ParsecStudy is a Fig. 12/14 panel pair: Parsec speedup and EDP.
+type ParsecStudy struct {
+	Speedup *EDPStudy // reused row layout; values are speedups
+	EDP     *EDPStudy
+}
+
+// Parsec regenerates Fig. 12 (baselineSB=114) or Fig. 14 (32).
+func Parsec(r *Runner, baselineSB, mechSB int) (*ParsecStudy, error) {
+	benchs := workload.BySuite(workload.Parsec)
+	sp := &EDPStudy{BaselineSB: baselineSB, MechSB: mechSB, Geomean: map[config.Mechanism]float64{}}
+	gm := map[config.Mechanism][]float64{}
+	for _, b := range benchs {
+		base, err := r.Run(b, config.Baseline, baselineSB)
+		if err != nil {
+			return nil, err
+		}
+		row := EDPRow{Bench: b.Name, EDP: map[config.Mechanism]float64{}}
+		for _, m := range config.Mechanisms {
+			res, err := r.Run(b, m, mechSB)
+			if err != nil {
+				return nil, err
+			}
+			row.EDP[m] = Speedup(res, base)
+			gm[m] = append(gm[m], row.EDP[m])
+		}
+		sp.Rows = append(sp.Rows, row)
+	}
+	for m, xs := range gm {
+		sp.Geomean[m] = Geomean(xs)
+	}
+	edp, err := EDP(r, benchs, baselineSB, mechSB)
+	if err != nil {
+		return nil, err
+	}
+	return &ParsecStudy{Speedup: sp, EDP: edp}, nil
+}
+
+// Print renders both Parsec panels.
+func (p *ParsecStudy) Print(w io.Writer, figure string) {
+	fmt.Fprintf(w, "%s left: Parsec speedup vs %d-entry-SB baseline (higher is better)\n", figure, p.Speedup.BaselineSB)
+	fmt.Fprintf(w, "  %-16s", "benchmark")
+	for _, m := range config.Mechanisms {
+		fmt.Fprintf(w, " %8s", m)
+	}
+	fmt.Fprintln(w)
+	for _, row := range p.Speedup.Rows {
+		fmt.Fprintf(w, "  %-16s", row.Bench)
+		for _, m := range config.Mechanisms {
+			fmt.Fprintf(w, " %+7.1f%%", 100*(row.EDP[m]-1))
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "  %-16s", "geomean")
+	for _, m := range config.Mechanisms {
+		fmt.Fprintf(w, " %+7.1f%%", 100*(p.Speedup.Geomean[m]-1))
+	}
+	fmt.Fprintln(w)
+	p.EDP.Print(w, figure+" right")
+}
+
+// PrintCAMTable reports the analytic CAM model against the paper's
+// published numbers (Secs. I/V: the "X2" experiment in DESIGN.md).
+func PrintCAMTable(w io.Writer) {
+	fmt.Fprintln(w, "CAM model vs paper claims:")
+	fmt.Fprintf(w, "  SB energy/search 114 vs 32:  %.2fx   (paper: 2x)\n", energy.SBEnergyRatio(114, 32))
+	fmt.Fprintf(w, "  SB area saving 114 -> 32:    %.0f%%    (paper: 21%%)\n", 100*energy.SBAreaReduction(114, 32))
+	fmt.Fprintf(w, "  WOQ area vs 114-entry SB:    %.1fx smaller (paper: 13x)\n",
+		energy.SBCAM.Area(114)/energy.WOQArea())
+	fmt.Fprintf(w, "  WOQ energy vs 114-entry SB:  %.1fx less    (paper: 10x)\n",
+		energy.SBCAM.SearchEnergy(114)/energy.WOQSearchEnergy())
+	fmt.Fprintf(w, "  WOQ energy vs 32-entry SB:   %.1fx less    (paper: 5x)\n",
+		energy.SBCAM.SearchEnergy(32)/energy.WOQSearchEnergy())
+	fmt.Fprintf(w, "  store-to-load fwd latency:   5 cycles @114, 4 @64, 3 @32 (paper: 5 -> 3)\n")
+	fmt.Fprintf(w, "  WOQ storage: 64 entries x 34 bits = %d bytes (paper: 272 bytes)\n", 64*34/8)
+}

@@ -1,0 +1,168 @@
+// Package harness drives the paper's evaluation: it runs benchmark
+// proxies under every store-handling mechanism and SB size, collects
+// cycles/stats/energy, and regenerates each figure of Sec. VI as a
+// text table (see DESIGN.md's experiment index).
+package harness
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"tusim/internal/config"
+	"tusim/internal/energy"
+	"tusim/internal/stats"
+	"tusim/internal/system"
+	"tusim/internal/tso"
+	"tusim/internal/workload"
+)
+
+// Result captures one simulation run.
+type Result struct {
+	Bench  string
+	Mech   config.Mechanism
+	SB     int
+	Cores  int
+	Cycles uint64
+	Stats  *stats.Set
+	Energy energy.Breakdown
+	EDP    float64
+}
+
+// SBStallPct is the fraction of cycles dispatch stalled on a full SB
+// (Fig. 9's metric), averaged over cores.
+func (r Result) SBStallPct() float64 {
+	return 100 * float64(r.Stats.Get("stall_sb")) / float64(r.Cycles) / float64(r.Cores)
+}
+
+// Runner executes and memoizes simulation runs.
+type Runner struct {
+	// Ops is the trace length per thread.
+	Ops int
+	// ParallelOps is the per-thread trace length for 16-thread runs.
+	ParallelOps int
+	// Seed drives the workload generators.
+	Seed int64
+	// Check attaches the TSO checker to every run (slower).
+	Check bool
+	// Verbose prints each run as it completes.
+	Verbose bool
+
+	cache map[string]Result
+}
+
+// NewRunner returns a runner with the default experiment scale.
+func NewRunner() *Runner {
+	return &Runner{Ops: 150_000, ParallelOps: 25_000, Seed: 1}
+}
+
+// NewQuickRunner returns a runner sized for tests.
+func NewQuickRunner() *Runner {
+	return &Runner{Ops: 12_000, ParallelOps: 1_500, Seed: 1}
+}
+
+func (r *Runner) ops(b workload.Benchmark) int {
+	if b.Threads > 1 {
+		return r.ParallelOps
+	}
+	return r.Ops
+}
+
+// Run simulates benchmark b under mechanism m with the given SB size.
+func (r *Runner) Run(b workload.Benchmark, m config.Mechanism, sbSize int) (Result, error) {
+	key := fmt.Sprintf("%s/%v/%d", b.Name, m, sbSize)
+	if r.cache == nil {
+		r.cache = make(map[string]Result)
+	}
+	if res, ok := r.cache[key]; ok {
+		return res, nil
+	}
+	cfg := config.Default().WithMechanism(m).WithSB(sbSize).WithCores(b.Threads)
+	sys, err := system.New(cfg, b.Streams(r.Seed, r.ops(b)))
+	if err != nil {
+		return Result{}, fmt.Errorf("harness: %s: %w", key, err)
+	}
+	// Discard the first third as warm-up (the paper warms 200M of each
+	// 2B-instruction simulation point; our warm workloads put their
+	// footprint-touch prologue inside this window).
+	sys.WarmupOps = uint64(r.ops(b)) * uint64(b.Threads) / 3
+	var ck *tso.Checker
+	if r.Check {
+		ck = tso.NewChecker(cfg.Cores)
+		sys.SetObserver(ck)
+	}
+	if err := sys.Run(); err != nil {
+		return Result{}, fmt.Errorf("harness: %s: %w", key, err)
+	}
+	if ck != nil {
+		ck.Finish()
+		if err := ck.Err(); err != nil {
+			return Result{}, fmt.Errorf("harness: %s: %w", key, err)
+		}
+	}
+	st := sys.StatsSum()
+	model := energy.New(cfg)
+	res := Result{
+		Bench:  b.Name,
+		Mech:   m,
+		SB:     sbSize,
+		Cores:  cfg.Cores,
+		Cycles: sys.Cycles,
+		Stats:  st,
+		Energy: model.Energy(st, sys.Cycles),
+		EDP:    model.EDP(st, sys.Cycles),
+	}
+	r.cache[key] = res
+	if r.Verbose {
+		fmt.Printf("  ran %-28s cycles=%-10d sbstall=%5.1f%%\n", key, res.Cycles, res.SBStallPct())
+	}
+	return res, nil
+}
+
+// Speedup returns base.Cycles / res.Cycles.
+func Speedup(res, base Result) float64 { return float64(base.Cycles) / float64(res.Cycles) }
+
+// Geomean computes the geometric mean of xs (1.0 when empty).
+func Geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 1
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// SCurve returns speedups sorted ascending (Figs. 10/13 left panels).
+func SCurve(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	copy(out, xs)
+	sort.Float64s(out)
+	return out
+}
+
+// sbBoundSorted returns the ST SB-bound set sorted by baseline SB-stall
+// fraction at the given SB size (the paper sorts its per-benchmark bars
+// this way).
+func (r *Runner) sbBoundSorted(sb int) ([]workload.Benchmark, error) {
+	set := workload.SBBound()
+	type kv struct {
+		b workload.Benchmark
+		s float64
+	}
+	kvs := make([]kv, 0, len(set))
+	for _, b := range set {
+		res, err := r.Run(b, config.Baseline, sb)
+		if err != nil {
+			return nil, err
+		}
+		kvs = append(kvs, kv{b, res.SBStallPct()})
+	}
+	sort.SliceStable(kvs, func(i, j int) bool { return kvs[i].s > kvs[j].s })
+	out := make([]workload.Benchmark, len(kvs))
+	for i, x := range kvs {
+		out[i] = x.b
+	}
+	return out, nil
+}

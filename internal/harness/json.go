@@ -1,0 +1,153 @@
+package harness
+
+import (
+	"encoding/json"
+	"io"
+
+	"tusim/internal/config"
+	"tusim/internal/workload"
+)
+
+// JSONReport is the machine-readable form of the full evaluation,
+// written by `tusbench -json`.
+type JSONReport struct {
+	// Scale records the trace lengths the numbers were produced at.
+	Scale struct {
+		Ops         int   `json:"ops"`
+		ParallelOps int   `json:"parallel_ops"`
+		Seed        int64 `json:"seed"`
+	} `json:"scale"`
+	Fig8  []Fig8JSON    `json:"fig8_scalability"`
+	Fig9  []Fig9JSON    `json:"fig9_sb_stalls"`
+	Fig10 *SpeedupsJSON `json:"fig10_speedups_114"`
+	Fig11 *EDPJSON      `json:"fig11_edp_114"`
+	Fig12 *ParsecJSON   `json:"fig12_parsec_114"`
+	Fig13 *SpeedupsJSON `json:"fig13_speedups_32"`
+	Fig14 *ParsecJSON   `json:"fig14_parsec_32"`
+	Fig15 *EDPJSON      `json:"fig15_edp_32"`
+}
+
+// Fig8JSON is one scalability row.
+type Fig8JSON struct {
+	Suite    string             `json:"suite"`
+	SB       int                `json:"sb_entries"`
+	Speedups map[string]float64 `json:"speedup_vs_base114"`
+}
+
+// Fig9JSON is one stall row.
+type Fig9JSON struct {
+	Bench  string             `json:"bench"`
+	Stalls map[string]float64 `json:"sb_stall_pct"`
+}
+
+// SpeedupsJSON mirrors SpeedupStudy.
+type SpeedupsJSON struct {
+	BaselineSB int                  `json:"baseline_sb"`
+	MechSB     int                  `json:"mech_sb"`
+	SCurves    map[string][]float64 `json:"s_curves"`
+	Breakdown  []Fig9JSON           `json:"sb_bound_breakdown"` // values are speedups
+	Geomean    map[string]float64   `json:"geomean"`
+}
+
+// EDPJSON mirrors EDPStudy.
+type EDPJSON struct {
+	BaselineSB int                `json:"baseline_sb"`
+	MechSB     int                `json:"mech_sb"`
+	Rows       []Fig9JSON         `json:"rows"` // values are normalized EDP
+	Geomean    map[string]float64 `json:"geomean"`
+}
+
+// ParsecJSON mirrors ParsecStudy.
+type ParsecJSON struct {
+	Speedup *EDPJSON `json:"speedup"`
+	EDP     *EDPJSON `json:"edp"`
+}
+
+func mechMap(m map[config.Mechanism]float64) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k, v := range m {
+		out[k.String()] = v
+	}
+	return out
+}
+
+func speedupsJSON(s *SpeedupStudy) *SpeedupsJSON {
+	out := &SpeedupsJSON{
+		BaselineSB: s.BaselineSB,
+		MechSB:     s.MechSB,
+		SCurves:    map[string][]float64{},
+		Geomean:    mechMap(s.Geomean),
+	}
+	for m, curve := range s.SCurves {
+		out.SCurves[m.String()] = curve
+	}
+	for _, row := range s.Breakdown {
+		out.Breakdown = append(out.Breakdown, Fig9JSON{Bench: row.Bench, Stalls: mechMap(row.Speedups)})
+	}
+	return out
+}
+
+func edpJSON(s *EDPStudy) *EDPJSON {
+	out := &EDPJSON{BaselineSB: s.BaselineSB, MechSB: s.MechSB, Geomean: mechMap(s.Geomean)}
+	for _, row := range s.Rows {
+		out.Rows = append(out.Rows, Fig9JSON{Bench: row.Bench, Stalls: mechMap(row.EDP)})
+	}
+	return out
+}
+
+// WriteJSON runs the full evaluation and writes it as indented JSON.
+func WriteJSON(w io.Writer, r *Runner) error {
+	var rep JSONReport
+	rep.Scale.Ops = r.Ops
+	rep.Scale.ParallelOps = r.ParallelOps
+	rep.Scale.Seed = r.Seed
+
+	rows8, err := Fig8(r)
+	if err != nil {
+		return err
+	}
+	for _, row := range rows8 {
+		rep.Fig8 = append(rep.Fig8, Fig8JSON{Suite: row.Suite, SB: row.SB, Speedups: mechMap(row.Speedup)})
+	}
+	rows9, err := Fig9(r)
+	if err != nil {
+		return err
+	}
+	for _, row := range rows9 {
+		rep.Fig9 = append(rep.Fig9, Fig9JSON{Bench: row.Bench, Stalls: mechMap(row.Stalls)})
+	}
+	s10, err := Speedups(r, 114, 114)
+	if err != nil {
+		return err
+	}
+	rep.Fig10 = speedupsJSON(s10)
+	e11, err := EDP(r, workload.SBBound(), 114, 114)
+	if err != nil {
+		return err
+	}
+	rep.Fig11 = edpJSON(e11)
+	p12, err := Parsec(r, 114, 114)
+	if err != nil {
+		return err
+	}
+	rep.Fig12 = &ParsecJSON{Speedup: edpJSON(p12.Speedup), EDP: edpJSON(p12.EDP)}
+	s13, err := Speedups(r, 32, 32)
+	if err != nil {
+		return err
+	}
+	rep.Fig13 = speedupsJSON(s13)
+	p14, err := Parsec(r, 32, 32)
+	if err != nil {
+		return err
+	}
+	rep.Fig14 = &ParsecJSON{Speedup: edpJSON(p14.Speedup), EDP: edpJSON(p14.EDP)}
+	e15, err := EDP(r, workload.SBBound(), 32, 32)
+	if err != nil {
+		return err
+	}
+	rep.Fig15 = edpJSON(e15)
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&rep)
+}

@@ -1,0 +1,33 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestWriteJSON(t *testing.T) {
+	r := NewQuickRunner()
+	r.Ops = 2500
+	r.ParallelOps = 300
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	var rep JSONReport
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(rep.Fig8) != 9 || len(rep.Fig9) == 0 {
+		t.Fatalf("fig8=%d fig9=%d rows", len(rep.Fig8), len(rep.Fig9))
+	}
+	if rep.Fig10 == nil || rep.Fig10.Geomean["TUS"] <= 0 {
+		t.Fatal("fig10 missing or empty")
+	}
+	if rep.Fig12 == nil || rep.Fig12.EDP == nil {
+		t.Fatal("fig12 missing")
+	}
+	if rep.Scale.Ops != 2500 {
+		t.Fatalf("scale.ops = %d", rep.Scale.Ops)
+	}
+}

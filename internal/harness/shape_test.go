@@ -1,0 +1,80 @@
+package harness
+
+import (
+	"testing"
+
+	"tusim/internal/config"
+	"tusim/internal/workload"
+)
+
+// TestShapeRegression guards the paper's qualitative results at a
+// moderate scale: if a code change flips one of these orderings, the
+// reproduction is broken even if every unit test passes.
+func TestShapeRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("moderate-scale shape check")
+	}
+	r := NewRunner()
+	r.Ops = 60_000
+
+	speedup := func(bench string, m config.Mechanism, sb int) float64 {
+		b, ok := workload.ByName(bench)
+		if !ok {
+			t.Fatalf("missing %s", bench)
+		}
+		base, err := r.Run(b, config.Baseline, 114)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := r.Run(b, m, sb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Speedup(res, base)
+	}
+
+	// 1. TUS wins clearly on the store-burst flagship (paper: +26%).
+	if s := speedup("502.gcc5", config.TUS, 114); s < 1.05 {
+		t.Errorf("TUS on gcc5 = %+.1f%%, want a clear win", 100*(s-1))
+	}
+	// 2. TUS helps the long-latency-store workload; CSB and SPB do not
+	//    (the paper's mcf narrative).
+	mcfTUS := speedup("505.mcf", config.TUS, 114)
+	mcfCSB := speedup("505.mcf", config.CSB, 114)
+	mcfSPB := speedup("505.mcf", config.SPB, 114)
+	if mcfTUS < 1.03 {
+		t.Errorf("TUS on mcf = %+.1f%%, want a gain", 100*(mcfTUS-1))
+	}
+	if mcfCSB > mcfTUS-0.02 || mcfSPB > mcfTUS-0.02 {
+		t.Errorf("mcf ordering broken: TUS %+.1f%% CSB %+.1f%% SPB %+.1f%%",
+			100*(mcfTUS-1), 100*(mcfCSB-1), 100*(mcfSPB-1))
+	}
+	// 3. TUS does not slow the compute-bound control workload.
+	if s := speedup("503.bw2", config.TUS, 114); s < 0.995 {
+		t.Errorf("TUS slows bw2: %+.2f%%", 100*(s-1))
+	}
+	// 4. The headline: TUS with a 32-entry SB at least matches the
+	//    114-entry baseline on the burst flagship.
+	if s := speedup("502.gcc5", config.TUS, 32); s < 1.0 {
+		t.Errorf("TUS@32 vs base@114 on gcc5 = %+.1f%%, want >= 0", 100*(s-1))
+	}
+	// 5. Coalescing reduces L1D write traffic ~4x on gcc5.
+	b, _ := workload.ByName("502.gcc5")
+	tusRes, err := r.Run(b, config.TUS, 114)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseRes, err := r.Run(b, config.Baseline, 114)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wTUS := tusRes.Stats.Get("l1d_writes")
+	wBase := baseRes.Stats.Get("l1d_writes")
+	if wTUS*3 > wBase {
+		t.Errorf("coalescing weak: TUS %d vs base %d L1D writes", wTUS, wBase)
+	}
+	// 6. TUS EDP beats the baseline on the flagship.
+	if tusRes.EDP >= baseRes.EDP {
+		t.Errorf("TUS EDP (%.3g) not below baseline (%.3g)", tusRes.EDP, baseRes.EDP)
+	}
+}

@@ -1,0 +1,115 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindPredicates(t *testing.T) {
+	if !Load.IsMem() || !Store.IsMem() {
+		t.Fatal("Load/Store must be memory ops")
+	}
+	if Nop.IsMem() || Fence.IsMem() || IntAdd.IsMem() {
+		t.Fatal("non-memory kinds misclassified")
+	}
+	for _, k := range []Kind{IntAdd, IntMul, IntDiv, FPAdd, FPMul, FPDiv} {
+		if !k.IsALU() {
+			t.Fatalf("%v should be ALU", k)
+		}
+	}
+	if Load.IsALU() || Fence.IsALU() || Nop.IsALU() {
+		t.Fatal("non-ALU kinds misclassified")
+	}
+	if IntAdd.Complex() {
+		t.Fatal("IntAdd runs on the simple ALU")
+	}
+	for _, k := range []Kind{IntMul, IntDiv, FPAdd, FPMul, FPDiv} {
+		if !k.Complex() {
+			t.Fatalf("%v needs a complex ALU", k)
+		}
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	want := map[Kind]string{Nop: "nop", IntAdd: "iadd", Load: "ld", Store: "st", Fence: "fence", FPDiv: "fdiv"}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), s)
+		}
+	}
+	if !strings.Contains(Kind(99).String(), "99") {
+		t.Error("unknown kind should include numeric value")
+	}
+}
+
+func TestLineAddr(t *testing.T) {
+	op := MicroOp{Kind: Store, Addr: 0x1234, Size: 4}
+	if op.LineAddr() != 0x1200 {
+		t.Fatalf("LineAddr = %#x, want 0x1200", op.LineAddr())
+	}
+}
+
+func TestValidateAccepts(t *testing.T) {
+	trace := []MicroOp{
+		{Kind: IntAdd},
+		{Kind: Load, Addr: 0x100, Size: 8, Dep1: 1},
+		{Kind: Store, Addr: 0x140, Size: 4, Dep1: 1},
+		{Kind: Fence},
+		{Kind: Load, Addr: 0x13C, Size: 4}, // ends exactly at line boundary
+	}
+	if err := Validate(trace); err != nil {
+		t.Fatalf("Validate rejected valid trace: %v", err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name  string
+		trace []MicroOp
+	}{
+		{"bad size", []MicroOp{{Kind: Load, Addr: 0, Size: 3}}},
+		{"zero size", []MicroOp{{Kind: Store, Addr: 0, Size: 0}}},
+		{"line crossing", []MicroOp{{Kind: Load, Addr: 0x3C, Size: 8}}},
+		{"simd size", []MicroOp{{Kind: Load, Addr: 0, Size: 32}}},
+		{"dep before start", []MicroOp{{Kind: IntAdd, Dep1: 1}}},
+		{"fence with addr", []MicroOp{{Kind: Fence, Addr: 0x40}}},
+		{"alu with size", []MicroOp{{Kind: IntAdd, Size: 8}}},
+	}
+	for _, c := range cases {
+		if err := Validate(c.trace); err == nil {
+			t.Errorf("%s: Validate accepted invalid trace", c.name)
+		}
+	}
+}
+
+func TestSliceStream(t *testing.T) {
+	ops := []MicroOp{{Kind: IntAdd}, {Kind: Load, Addr: 8, Size: 8}}
+	s := NewSliceStream(ops)
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	a, ok := s.Next()
+	if !ok || a.Kind != IntAdd {
+		t.Fatal("first op wrong")
+	}
+	b, ok := s.Next()
+	if !ok || b.Kind != Load {
+		t.Fatal("second op wrong")
+	}
+	if _, ok := s.Next(); ok {
+		t.Fatal("stream should be exhausted")
+	}
+}
+
+// Property: LineAddr is idempotent and never larger than Addr.
+func TestLineAddrProperty(t *testing.T) {
+	f := func(addr uint64) bool {
+		op := MicroOp{Kind: Load, Addr: addr, Size: 1}
+		l := op.LineAddr()
+		return l <= addr && l&63 == 0 && (MicroOp{Kind: Load, Addr: l, Size: 1}).LineAddr() == l
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,134 @@
+package isa
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Trace file format: a small header followed by delta-encoded micro-ops.
+//
+//	magic "TUST" | version u8 | count uvarint
+//	per op: kind u8 | dep1 uvarint | dep2 uvarint
+//	        (mem ops only) size u8 | addr-delta svarint
+//
+// Addresses are delta-encoded against the previous memory op's address,
+// which compresses the strided patterns the workloads produce.
+const (
+	traceMagic   = "TUST"
+	traceVersion = 1
+)
+
+// WriteTrace serializes a trace.
+func WriteTrace(w io.Writer, ops []MicroOp) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(traceMagic); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(traceVersion); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	putVarint := func(v int64) error {
+		n := binary.PutVarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	if err := putUvarint(uint64(len(ops))); err != nil {
+		return err
+	}
+	prevAddr := int64(0)
+	for _, op := range ops {
+		if err := bw.WriteByte(byte(op.Kind)); err != nil {
+			return err
+		}
+		if err := putUvarint(uint64(op.Dep1)); err != nil {
+			return err
+		}
+		if err := putUvarint(uint64(op.Dep2)); err != nil {
+			return err
+		}
+		if op.Kind.IsMem() {
+			if err := bw.WriteByte(op.Size); err != nil {
+				return err
+			}
+			if err := putVarint(int64(op.Addr) - prevAddr); err != nil {
+				return err
+			}
+			prevAddr = int64(op.Addr)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace deserializes a trace written by WriteTrace and validates it.
+func ReadTrace(r io.Reader) ([]MicroOp, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("isa: reading trace header: %w", err)
+	}
+	if string(magic) != traceMagic {
+		return nil, fmt.Errorf("isa: bad trace magic %q", magic)
+	}
+	ver, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	if ver != traceVersion {
+		return nil, fmt.Errorf("isa: unsupported trace version %d", ver)
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	const maxOps = 1 << 28
+	if count > maxOps {
+		return nil, fmt.Errorf("isa: trace claims %d ops (max %d)", count, maxOps)
+	}
+	ops := make([]MicroOp, 0, count)
+	prevAddr := int64(0)
+	for i := uint64(0); i < count; i++ {
+		k, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("isa: op %d: %w", i, err)
+		}
+		op := MicroOp{Kind: Kind(k)}
+		d1, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		d2, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		if d1 > 65535 || d2 > 65535 {
+			return nil, fmt.Errorf("isa: op %d: dep distance out of range", i)
+		}
+		op.Dep1, op.Dep2 = uint16(d1), uint16(d2)
+		if op.Kind.IsMem() {
+			sz, err := br.ReadByte()
+			if err != nil {
+				return nil, err
+			}
+			op.Size = sz
+			delta, err := binary.ReadVarint(br)
+			if err != nil {
+				return nil, err
+			}
+			prevAddr += delta
+			op.Addr = uint64(prevAddr)
+		}
+		ops = append(ops, op)
+	}
+	if err := Validate(ops); err != nil {
+		return nil, fmt.Errorf("isa: trace fails validation: %w", err)
+	}
+	return ops, nil
+}

@@ -1,0 +1,263 @@
+// Package litmus runs classic memory-consistency litmus tests on the
+// simulated machine. Each test is a tiny multi-core program with an
+// assertion about which final observations x86-TSO forbids; running
+// them under every store mechanism checks that TUS (and the
+// comparison mechanisms) preserve TSO not just statistically (the
+// online checker) but on the canonical adversarial patterns:
+//
+//   - SB  (store buffering):   r1=0 ^ r2=0 is ALLOWED under TSO
+//   - MP  (message passing):   r1=1 ^ r2=0 is FORBIDDEN
+//   - LB  (load buffering):    r1=1 ^ r2=1 is FORBIDDEN (no LSR)
+//   - SBF (SB + fences):       r1=0 ^ r2=0 is FORBIDDEN
+//   - CoWW/CoRW1 (coherence):  per-location order must hold
+//   - ATOM (atomic group):     a coalesced A,B,A group publishes
+//     atomically — no observer may see the second A write before B
+//
+// Observations are collected over many interleavings by varying
+// per-core start skew and filler work; TSO-forbidden outcomes must
+// never appear for any skew, and (for ALLOWED tests) the relaxed
+// outcome should appear for at least one skew.
+package litmus
+
+import (
+	"fmt"
+
+	"tusim/internal/config"
+	"tusim/internal/cpu"
+	"tusim/internal/isa"
+	"tusim/internal/system"
+	"tusim/internal/tso"
+)
+
+// X and Y are the shared variables used by the litmus tests (distinct
+// cache lines in the cross-thread shared region).
+const (
+	X = uint64(1)<<33 + 0*64
+	Y = uint64(1)<<33 + 1*64
+)
+
+// Thread is one core's program: a sequence of micro-ops where loads
+// record observations.
+type Thread struct {
+	Ops []isa.MicroOp
+	// ObsSeqs lists the op indices (by order of appearance among
+	// loads) whose values are recorded as r1, r2, ... for this thread.
+	ObsSeqs []int
+}
+
+// Test is one litmus configuration.
+type Test struct {
+	Name    string
+	Threads []Thread
+	// Forbidden returns true if the observation vector (all threads'
+	// recorded load values, flattened; 1 means "saw the store", 0 means
+	// "saw initial memory") violates x86-TSO.
+	Forbidden func(obs []uint64) bool
+	// WantRelaxed, when set, is an outcome that TSO *allows*; the
+	// runner reports whether it was ever observed (it should be, for
+	// the SB test — the store buffer is the whole point).
+	WantRelaxed func(obs []uint64) bool
+}
+
+// delay returns n filler ALU ops (a serial chain, n cycles).
+func delay(n int) []isa.MicroOp {
+	ops := make([]isa.MicroOp, n)
+	for i := range ops {
+		ops[i] = isa.MicroOp{Kind: isa.IntAdd, Dep1: 1}
+	}
+	if n > 0 {
+		ops[0].Dep1 = 0
+	}
+	return ops
+}
+
+func st(addr uint64) isa.MicroOp { return isa.MicroOp{Kind: isa.Store, Addr: addr, Size: 8} }
+func ld(addr uint64) isa.MicroOp { return isa.MicroOp{Kind: isa.Load, Addr: addr, Size: 8} }
+
+// Tests returns the litmus suite.
+func Tests() []Test {
+	return []Test{
+		{
+			// SB: T0: x=1; r1=y   T1: y=1; r2=x
+			// TSO allows r1=r2=0 (both loads bypass the buffered store).
+			Name: "SB",
+			Threads: []Thread{
+				{Ops: []isa.MicroOp{st(X), ld(Y)}, ObsSeqs: []int{0}},
+				{Ops: []isa.MicroOp{st(Y), ld(X)}, ObsSeqs: []int{0}},
+			},
+			Forbidden:   func(obs []uint64) bool { return false }, // everything is legal
+			WantRelaxed: func(obs []uint64) bool { return obs[0] == 0 && obs[1] == 0 },
+		},
+		{
+			// SB+mfence: the fences forbid r1=r2=0.
+			Name: "SB+fences",
+			Threads: []Thread{
+				{Ops: []isa.MicroOp{st(X), {Kind: isa.Fence}, ld(Y)}, ObsSeqs: []int{0}},
+				{Ops: []isa.MicroOp{st(Y), {Kind: isa.Fence}, ld(X)}, ObsSeqs: []int{0}},
+			},
+			Forbidden: func(obs []uint64) bool { return obs[0] == 0 && obs[1] == 0 },
+		},
+		{
+			// MP: T0: x=1; y=1   T1: r1=y; r2=x
+			// Forbidden: r1=1 ^ r2=0 (stores must become visible in order).
+			Name: "MP",
+			Threads: []Thread{
+				{Ops: []isa.MicroOp{st(X), st(Y)}},
+				{Ops: append(append([]isa.MicroOp{ld(Y)}, delay(8)...), ld(X)), ObsSeqs: []int{0, 1}},
+			},
+			Forbidden: func(obs []uint64) bool { return obs[0] == 1 && obs[1] == 0 },
+		},
+		{
+			// MP with the two stores coalescing into one atomic group
+			// (x and y adjacent lines, plus a cycle back to x): the
+			// group publishes atomically, so ordering still holds.
+			Name: "MP+cycle",
+			Threads: []Thread{
+				{Ops: []isa.MicroOp{st(X), st(Y), {Kind: isa.Store, Addr: X + 8, Size: 8}}},
+				{Ops: append(append([]isa.MicroOp{ld(Y)}, delay(8)...), ld(X)), ObsSeqs: []int{0, 1}},
+			},
+			Forbidden: func(obs []uint64) bool { return obs[0] == 1 && obs[1] == 0 },
+		},
+		{
+			// ATOM: the atomic group {X, Y} (via the cycle X,Y,X+8) may
+			// never be observed half-published in either direction:
+			// seeing the second X write (X+8) implies seeing Y, and
+			// seeing Y implies seeing the first X write.
+			Name: "ATOM",
+			Threads: []Thread{
+				{Ops: []isa.MicroOp{st(X), st(Y), {Kind: isa.Store, Addr: X + 8, Size: 8}}},
+				{Ops: []isa.MicroOp{{Kind: isa.Load, Addr: X + 8, Size: 8}, ld(Y), ld(X)}, ObsSeqs: []int{0, 1, 2}},
+			},
+			Forbidden: func(obs []uint64) bool {
+				// obs[0]=saw X+8 write, obs[1]=saw Y, obs[2]=saw X.
+				if obs[0] == 1 && (obs[1] == 0 || obs[2] == 0) {
+					return true // second X write visible without the group
+				}
+				return obs[1] == 1 && obs[2] == 0 // Y visible before older X
+			},
+		},
+		{
+			// CoWW + CoRW: same-location writes by one core must be
+			// observed in order by another core polling the location.
+			Name: "CoWW",
+			Threads: []Thread{
+				{Ops: []isa.MicroOp{st(X), {Kind: isa.Store, Addr: X, Size: 8}}},
+				{Ops: append(append([]isa.MicroOp{ld(X)}, delay(8)...), ld(X)), ObsSeqs: []int{0, 1}},
+			},
+			// Observation encodes which write was seen: 0 (init),
+			// 1 (first write) or 2 (second). Going backwards is forbidden.
+			Forbidden: func(obs []uint64) bool { return obs[1] < obs[0] },
+		},
+	}
+}
+
+// Result summarizes one litmus test under one mechanism.
+type Result struct {
+	Test       string
+	Mech       config.Mechanism
+	Runs       int
+	Violations int
+	// RelaxedSeen reports whether the WantRelaxed outcome appeared.
+	RelaxedSeen bool
+	// Outcomes maps the observation vector (stringified) to its count.
+	Outcomes map[string]int
+}
+
+// Run executes a litmus test under a mechanism across `skews`
+// different relative start offsets and returns the outcome census.
+func Run(test Test, m config.Mechanism, skews int) (Result, error) {
+	res := Result{Test: test.Name, Mech: m, Outcomes: map[string]int{}}
+	for skew := 0; skew < skews; skew++ {
+		obs, err := runOnce(test, m, skew)
+		if err != nil {
+			return res, err
+		}
+		res.Runs++
+		key := fmt.Sprint(obs)
+		res.Outcomes[key]++
+		if test.Forbidden != nil && test.Forbidden(obs) {
+			res.Violations++
+		}
+		if test.WantRelaxed != nil && test.WantRelaxed(obs) {
+			res.RelaxedSeen = true
+		}
+	}
+	return res, nil
+}
+
+// runOnce executes the test with per-thread start skews and classifies
+// each observed load value: 0 = initial memory, k = the k-th store (in
+// program order) to that address anywhere in the test.
+func runOnce(test Test, m config.Mechanism, skew int) ([]uint64, error) {
+	cores := len(test.Threads)
+	cfg := config.Default().WithMechanism(m).WithCores(cores)
+	cfg.StreamPrefetcher = false
+
+	type obsKey struct{ core, loadIdx int }
+	streams := make([]isa.Stream, cores)
+	obsOrder := make([]obsKey, 0, 4)
+	loadSeqOf := make([]map[int]int, cores)
+	valueRank := map[[8]byte]uint64{}
+	addrCount := map[uint64]int{}
+	for c, th := range test.Threads {
+		pre := delay(1 + skew*(7+6*c)%97)
+		ops := append(append([]isa.MicroOp{}, pre...), th.Ops...)
+		loadSeqOf[c] = map[int]int{}
+		li := 0
+		for i, op := range th.Ops {
+			seq := len(pre) + i
+			switch op.Kind {
+			case isa.Load:
+				loadSeqOf[c][li] = seq
+				li++
+			case isa.Store:
+				addrCount[op.Addr]++
+				valueRank[cpu.StoreValue(c, uint64(seq))] = uint64(addrCount[op.Addr])
+			}
+		}
+		for _, oi := range th.ObsSeqs {
+			obsOrder = append(obsOrder, obsKey{c, oi})
+		}
+		streams[c] = isa.NewSliceStream(ops)
+	}
+
+	sys, err := system.New(cfg, streams)
+	if err != nil {
+		return nil, err
+	}
+	ck := tso.NewChecker(cores)
+	sys.SetObserver(ck)
+
+	// Capture load values keyed by (core, seq), preserving the
+	// checker's observer hook.
+	loadVals := map[[2]uint64][8]byte{}
+	for i := range sys.Cores {
+		i := i
+		prev := sys.Cores[i].OnLoadValue
+		sys.Cores[i].OnLoadValue = func(core int, seq, addr uint64, size uint8, v [8]byte) {
+			if prev != nil {
+				prev(core, seq, addr, size, v)
+			}
+			loadVals[[2]uint64{uint64(i), seq}] = v
+		}
+	}
+
+	if err := sys.Run(); err != nil {
+		return nil, fmt.Errorf("litmus %s/%v skew %d: %w", test.Name, m, skew, err)
+	}
+	ck.Finish()
+	if err := ck.Err(); err != nil {
+		return nil, fmt.Errorf("litmus %s/%v skew %d: %w", test.Name, m, skew, err)
+	}
+
+	out := make([]uint64, 0, len(obsOrder))
+	for _, k := range obsOrder {
+		seq := loadSeqOf[k.core][k.loadIdx]
+		v, ok := loadVals[[2]uint64{uint64(k.core), uint64(seq)}]
+		if !ok {
+			return nil, fmt.Errorf("litmus %s: observation load never bound", test.Name)
+		}
+		out = append(out, valueRank[v]) // zero value -> rank 0 (initial)
+	}
+	return out, nil
+}

@@ -1,0 +1,90 @@
+package litmus
+
+import (
+	"testing"
+
+	"tusim/internal/config"
+)
+
+// TestForbiddenOutcomesNeverAppear runs every litmus test under every
+// mechanism across many interleavings: TSO-forbidden outcomes must
+// never be observed.
+func TestForbiddenOutcomesNeverAppear(t *testing.T) {
+	for _, lt := range Tests() {
+		lt := lt
+		t.Run(lt.Name, func(t *testing.T) {
+			for _, m := range config.Mechanisms {
+				res, err := Run(lt, m, 12)
+				if err != nil {
+					t.Fatalf("[%v] %v", m, err)
+				}
+				if res.Violations != 0 {
+					t.Errorf("[%v] %d/%d runs produced TSO-forbidden outcomes: %v",
+						m, res.Violations, res.Runs, res.Outcomes)
+				}
+			}
+		})
+	}
+}
+
+// TestStoreBufferingRelaxationObservable: the r1=r2=0 outcome of the SB
+// litmus is the store buffer's signature; at least one mechanism and
+// skew must expose it (all of them buffer stores).
+func TestStoreBufferingRelaxationObservable(t *testing.T) {
+	var sb Test
+	for _, lt := range Tests() {
+		if lt.Name == "SB" {
+			sb = lt
+		}
+	}
+	for _, m := range config.Mechanisms {
+		res, err := Run(sb, m, 12)
+		if err != nil {
+			t.Fatalf("[%v] %v", m, err)
+		}
+		if !res.RelaxedSeen {
+			t.Errorf("[%v] never observed r1=r2=0 on the SB litmus; store buffering not visible (outcomes: %v)",
+				m, res.Outcomes)
+		}
+	}
+}
+
+// TestFenceForbidsRelaxation: with mfences the SB relaxation must
+// disappear under every mechanism (fences flush the SB and, for TUS,
+// the WOQ).
+func TestFenceForbidsRelaxation(t *testing.T) {
+	var sbf Test
+	for _, lt := range Tests() {
+		if lt.Name == "SB+fences" {
+			sbf = lt
+		}
+	}
+	for _, m := range config.Mechanisms {
+		res, err := Run(sbf, m, 12)
+		if err != nil {
+			t.Fatalf("[%v] %v", m, err)
+		}
+		if res.Violations != 0 {
+			t.Errorf("[%v] fenced store buffering leaked: %v", m, res.Outcomes)
+		}
+	}
+}
+
+// TestMessagePassingOrderUnderTUS focuses the MP pattern on TUS with
+// more skews (the WOQ's in-order publication is exactly what it tests).
+func TestMessagePassingOrderUnderTUS(t *testing.T) {
+	for _, name := range []string{"MP", "MP+cycle", "ATOM", "CoWW"} {
+		for _, lt := range Tests() {
+			if lt.Name != name {
+				continue
+			}
+			res, err := Run(lt, config.TUS, 24)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if res.Violations != 0 {
+				t.Errorf("%s under TUS: %d violations (%v)", name, res.Violations, res.Outcomes)
+			}
+		}
+	}
+}

@@ -1,0 +1,87 @@
+// Package mech implements the store-handling policies the paper
+// compares TUS against: the baseline in-order drain (with
+// prefetch-at-commit), the idealized Scalable Store Buffer (SSB), and
+// the Coalescing Store Buffer (CSB). SPB is the baseline plus the
+// page-burst prefetcher from internal/prefetch, wired by the system.
+package mech
+
+import (
+	"tusim/internal/config"
+	"tusim/internal/cpu"
+	"tusim/internal/memsys"
+	"tusim/internal/stats"
+)
+
+// Base drains committed stores from the SB head in order; a store that
+// lacks write permission blocks the drain until its line arrives
+// (prefetch-at-commit usually hides this, except on LLC misses and
+// long bursts — the paper's motivating pathologies).
+type Base struct {
+	core *cpu.Core
+	priv *memsys.Private
+
+	requested bool // demand GetM issued for the current head
+
+	cBlocked *stats.Counter
+	cDrained *stats.Counter
+}
+
+// NewBase builds the baseline drain policy.
+func NewBase(core *cpu.Core, st *stats.Set) *Base {
+	return &Base{
+		core:     core,
+		priv:     core.Priv(),
+		cBlocked: st.Counter("drain_blocked_cycles"),
+		cDrained: st.Counter("stores_drained"),
+	}
+}
+
+// Name implements cpu.DrainMechanism.
+func (b *Base) Name() string { return config.Baseline.String() }
+
+// drainLookahead is how many distinct committed lines ahead of the SB
+// head keep RFOs in flight (real store buffers sustain several
+// outstanding store misses; prefetch-at-commit covers most of this,
+// but its requests are dropped under MSHR pressure).
+const drainLookahead = 16
+
+// Tick drains at most one committed store per cycle (pipelined L1D
+// store port).
+func (b *Base) Tick() {
+	e := b.core.SB.Head()
+	if e == nil || !e.Committed {
+		return
+	}
+	b.core.SB.LookaheadLines(drainLookahead, func(line uint64) {
+		if !b.priv.Writable(line) {
+			b.priv.RequestWritable(line, false, false, nil)
+		}
+	})
+	line := e.Line()
+	if b.priv.Writable(line) {
+		if b.priv.StoreVisible(e.Addr, e.Data[:e.Size]) {
+			b.core.SB.Pop()
+			b.requested = false
+			b.cDrained.Inc()
+			return
+		}
+	}
+	if !b.requested {
+		// Demand write-permission request (the prefetch-at-commit one
+		// may have been dropped under MSHR pressure).
+		b.requested = b.priv.RequestWritable(line, false, true, nil)
+	}
+	b.cBlocked.Inc()
+}
+
+// Forward implements cpu.DrainMechanism: the baseline holds no stores
+// outside the SB.
+func (b *Base) Forward(addr uint64, size uint8) (cpu.ForwardResult, [8]byte) {
+	return cpu.FwdMiss, [8]byte{}
+}
+
+// Drained implements cpu.DrainMechanism.
+func (b *Base) Drained() bool { return true }
+
+// FlushDone implements cpu.DrainMechanism.
+func (b *Base) FlushDone() bool { return true }

@@ -1,0 +1,194 @@
+package mech
+
+import (
+	"sort"
+
+	"tusim/internal/config"
+	"tusim/internal/cpu"
+	"tusim/internal/memsys"
+	"tusim/internal/stats"
+	"tusim/internal/wcb"
+)
+
+// CSB is the Coalescing Store Buffer (Ros & Kaxiras, ISCA'18): it
+// coalesces committed stores across non-consecutive lines in the WCBs
+// and writes each atomic group to the L1D *after* acquiring write
+// permission for every line in the group (acquired one at a time in
+// lex order, which guarantees forward progress). While a group waits
+// for permissions the SB stops draining — CSB's weakness on
+// long-latency store misses, which TUS removes.
+type CSB struct {
+	core *cpu.Core
+	priv *memsys.Private
+	cfg  *config.Config
+
+	wcbs     *wcb.Set
+	flushing []*wcb.Buffer
+	// requested marks the line currently being acquired for the group.
+	requested map[uint64]bool
+	idle      int
+
+	cDrained, cBlocked, cGroupWrites *stats.Counter
+	cCoalesced, cWCBSearch           *stats.Counter
+}
+
+// csbIdleFlush is how many drain-idle cycles the WCBs may hold stores
+// before being pushed to the cache (bounds store invisibility).
+const csbIdleFlush = 8
+
+// csbLookahead matches the baseline drain-ahead RFO window.
+const csbLookahead = 16
+
+// NewCSB builds the coalescing store buffer policy.
+func NewCSB(core *cpu.Core, cfg *config.Config, st *stats.Set) *CSB {
+	return &CSB{
+		core:         core,
+		priv:         core.Priv(),
+		cfg:          cfg,
+		wcbs:         wcb.NewSet(cfg.WCBCount, cfg.LexBits),
+		requested:    make(map[uint64]bool),
+		cDrained:     st.Counter("stores_drained"),
+		cBlocked:     st.Counter("drain_blocked_cycles"),
+		cGroupWrites: st.Counter("csb_group_writes"),
+		cCoalesced:   st.Counter("csb_coalesced_stores"),
+		cWCBSearch:   st.Counter("wcb_searches"),
+	}
+}
+
+// Name implements cpu.DrainMechanism.
+func (c *CSB) Name() string { return config.CSB.String() }
+
+// Tick implements cpu.DrainMechanism.
+func (c *CSB) Tick() {
+	if c.flushing != nil {
+		c.advanceFlush()
+		if c.flushing != nil {
+			c.cBlocked.Inc()
+			return
+		}
+	}
+
+	// RFOs run ahead of the drain as in the baseline, and the WCBs
+	// accept up to commit-width stores per cycle (coalescing is not
+	// L1D-port limited).
+	c.core.SB.LookaheadLines(csbLookahead, func(line uint64) {
+		if !c.priv.Writable(line) {
+			c.priv.RequestWritable(line, false, false, nil)
+		}
+	})
+	for n := 0; n < c.cfg.CommitWidth; n++ {
+		e := c.core.SB.Head()
+		if e == nil || !e.Committed {
+			if n == 0 && !c.wcbs.Empty() {
+				// Idle: eventually push lingering coalesced stores out.
+				c.idle++
+				if c.idle >= csbIdleFlush {
+					c.startFlush()
+				}
+			}
+			return
+		}
+		c.idle = 0
+		switch c.wcbs.Insert(e.Addr, e.Data[:e.Size]) {
+		case wcb.Inserted:
+			c.core.SB.Pop()
+			c.cDrained.Inc()
+			c.cCoalesced.Inc()
+		case wcb.NeedFlush, wcb.LexConflict:
+			c.startFlush()
+			c.cBlocked.Inc()
+			return
+		}
+	}
+}
+
+func (c *CSB) startFlush() {
+	c.flushing = c.wcbs.OldestGroup()
+	c.advanceFlush()
+}
+
+// advanceFlush acquires permissions in lex order and performs the
+// atomic group write once every line is held.
+func (c *CSB) advanceFlush() {
+	if c.flushing == nil {
+		return
+	}
+	lines := wcb.Lines(c.flushing)
+	// Issue permission requests in lex order but in parallel: the order
+	// in which RFOs *start* follows the global order (forward
+	// progress), while overlapping their latencies keeps the drain off
+	// the critical path when several group lines miss.
+	sort.Slice(lines, func(i, j int) bool {
+		return wcb.Lex(lines[i], c.cfg.LexBits) < wcb.Lex(lines[j], c.cfg.LexBits)
+	})
+	allHeld := true
+	for _, ln := range lines {
+		if c.priv.Writable(ln) {
+			continue
+		}
+		allHeld = false
+		if !c.requested[ln] {
+			ln := ln
+			if c.priv.RequestWritable(ln, false, true, func(bool) { delete(c.requested, ln) }) {
+				c.requested[ln] = true
+			}
+		}
+	}
+	if !allHeld {
+		return
+	}
+	// All permissions held: the group must also fit the L1D.
+	if !c.priv.L1WaysAvailable(lines) {
+		return
+	}
+	for _, b := range c.flushing {
+		if !c.priv.StoreVisibleLine(b.Line, &b.Data, b.Mask) {
+			// A permission was stolen between the check and the write;
+			// restart acquisition next cycle.
+			return
+		}
+	}
+	c.cGroupWrites.Inc()
+	c.wcbs.Release(c.flushing)
+	c.flushing = nil
+	c.idle = 0
+}
+
+// FinalizeStats exports WCB search counts at run end.
+func (c *CSB) FinalizeStats() {
+	ctr := c.cWCBSearch
+	ctr.Add(c.wcbs.Searches - ctr.Value())
+}
+
+// Forward implements cpu.DrainMechanism (WCBs are searched on loads).
+func (c *CSB) Forward(addr uint64, size uint8) (cpu.ForwardResult, [8]byte) {
+	hit, conflict, out := c.wcbs.Forward(addr, size)
+	switch {
+	case hit:
+		return cpu.FwdHit, out
+	case conflict:
+		// Force the partial data out so the load can complete from L1D.
+		if c.flushing == nil {
+			c.startFlush()
+		}
+		return cpu.FwdConflict, out
+	}
+	return cpu.FwdMiss, out
+}
+
+// Drained implements cpu.DrainMechanism.
+func (c *CSB) Drained() bool { return c.wcbs.Empty() && c.flushing == nil }
+
+// FlushDone reports whether every coalesced store reached the cache;
+// while stores linger the idle timer pushes them out, so a waiting
+// fence always completes.
+func (c *CSB) FlushDone() bool {
+	if c.wcbs.Empty() && c.flushing == nil {
+		return true
+	}
+	// A fence is waiting: flush immediately rather than idling.
+	if c.flushing == nil {
+		c.startFlush()
+	}
+	return false
+}

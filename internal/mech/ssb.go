@@ -1,0 +1,168 @@
+package mech
+
+import (
+	"tusim/internal/config"
+	"tusim/internal/cpu"
+	"tusim/internal/event"
+	"tusim/internal/memsys"
+	"tusim/internal/stats"
+)
+
+// SSB is the idealized Scalable Store Buffer (Wenisch et al., ISCA'07):
+// committed stores move immediately from the SB into a large in-order
+// FIFO (the TSOB), so the SB almost never blocks. The TSOB drains
+// store-by-store in order, requiring write permission and — because
+// SSB does not coalesce — paying a shared-cache write per store. As in
+// the paper we idealize invalidation recovery (0-cycle replay) and let
+// loads forward from the TSOB for free.
+type SSB struct {
+	core *cpu.Core
+	priv *memsys.Private
+	cfg  *config.Config
+	q    *event.Queue
+
+	tsob  []cpu.SBEntry
+	head  int
+	count int
+
+	requested bool
+	// llcInflight models the shared-cache write port: SSB performs a
+	// write in the shared cache for every store (no coalescing), which
+	// bounds its sustained drain throughput.
+	llcInflight int
+
+	cDrained  *stats.Counter
+	cLLCWrite *stats.Counter
+	cBlocked  *stats.Counter
+	cPeak     *stats.Counter
+	cSearches *stats.Counter
+}
+
+// ssbLookahead is how many distinct TSOB lines ahead of the drain head
+// keep permission requests in flight.
+const ssbLookahead = 64
+
+// ssbLLCWritePort bounds concurrent second-level-cache writes (one per
+// drained store; SSB does not coalesce, so every store pays one).
+const ssbLLCWritePort = 16
+
+// NewSSB builds the idealized SSB with cfg.TSOBEntries slots.
+func NewSSB(core *cpu.Core, cfg *config.Config, q *event.Queue, st *stats.Set) *SSB {
+	return &SSB{
+		core:      core,
+		priv:      core.Priv(),
+		cfg:       cfg,
+		q:         q,
+		tsob:      make([]cpu.SBEntry, cfg.TSOBEntries),
+		cDrained:  st.Counter("stores_drained"),
+		cLLCWrite: st.Counter("ssb_llc_writes"),
+		cBlocked:  st.Counter("drain_blocked_cycles"),
+		cPeak:     st.Counter("tsob_peak_occupancy"),
+		cSearches: st.Counter("tsob_searches"),
+	}
+}
+
+// Name implements cpu.DrainMechanism.
+func (s *SSB) Name() string { return config.SSB.String() }
+
+func (s *SSB) at(i int) *cpu.SBEntry { return &s.tsob[(s.head+i)%len(s.tsob)] }
+
+// Tick moves committed stores into the TSOB (up to commit width per
+// cycle, store-wait-free) and drains the TSOB head (one per cycle).
+func (s *SSB) Tick() {
+	for n := 0; n < s.cfg.CommitWidth; n++ {
+		e := s.core.SB.Head()
+		if e == nil || !e.Committed || s.count == len(s.tsob) {
+			break
+		}
+		*s.at(s.count) = *e
+		s.count++
+		s.core.SB.Pop()
+	}
+	if uint64(s.count) > s.cPeak.Value() {
+		// Track peak occupancy via a counter (monotone).
+		s.cPeak.Add(uint64(s.count) - s.cPeak.Value())
+	}
+	if s.count == 0 {
+		return
+	}
+	// Drain lookahead: keep write-permission requests in flight for the
+	// next few distinct lines so the deep TSOB drains with memory-level
+	// parallelism (a store that committed a thousand entries ago has
+	// long lost its prefetch-at-commit line from the L1D).
+	seen := 0
+	var last uint64 = ^uint64(0)
+	for i := 0; i < s.count && seen < ssbLookahead; i++ {
+		ln := s.at(i).Line()
+		if ln == last {
+			continue
+		}
+		last = ln
+		seen++
+		if !s.priv.Writable(ln) {
+			// Demand-class: the idealized SSB keeps its drain window's
+			// RFOs on the fast path.
+			s.priv.RequestWritable(ln, false, false, nil)
+		}
+	}
+	h := s.at(0)
+	line := h.Line()
+	if s.llcInflight >= ssbLLCWritePort {
+		// Shared-cache write port saturated: the uncoalesced
+		// store-by-store LLC updates throttle the drain.
+		s.cBlocked.Inc()
+		return
+	}
+	if s.priv.Writable(line) {
+		if s.priv.StoreVisible(h.Addr, h.Data[:h.Size]) {
+			// SSB performs the write in the shared cache for every
+			// store (no coalescing): occupy an LLC write-port slot and
+			// count the energy event.
+			s.cLLCWrite.Inc()
+			s.llcInflight++
+			s.q.After(s.cfg.L2.Latency, func() { s.llcInflight-- })
+			s.head = (s.head + 1) % len(s.tsob)
+			s.count--
+			s.requested = false
+			s.cDrained.Inc()
+			return
+		}
+	}
+	if !s.requested {
+		s.requested = s.priv.RequestWritable(line, false, true, nil)
+	}
+	s.cBlocked.Inc()
+}
+
+// Forward searches the TSOB youngest-first (idealized: free and at
+// forwarding latency).
+func (s *SSB) Forward(addr uint64, size uint8) (cpu.ForwardResult, [8]byte) {
+	var zero [8]byte
+	want := memsys.MaskFor(addr, size)
+	line := addr &^ 63
+	s.cSearches.Inc()
+	for i := s.count - 1; i >= 0; i-- {
+		e := s.at(i)
+		if e.Line() != line {
+			continue
+		}
+		m := e.Mask()
+		if !m.Overlaps(want) {
+			continue
+		}
+		if !m.Covers(want) {
+			return cpu.FwdConflict, zero
+		}
+		var out [8]byte
+		off := int(addr&63) - int(e.Addr&63)
+		copy(out[:size], e.Data[off:off+int(size)])
+		return cpu.FwdHit, out
+	}
+	return cpu.FwdMiss, zero
+}
+
+// Drained implements cpu.DrainMechanism.
+func (s *SSB) Drained() bool { return s.count == 0 }
+
+// FlushDone implements cpu.DrainMechanism.
+func (s *SSB) FlushDone() bool { return s.count == 0 }

@@ -1,0 +1,372 @@
+package memsys
+
+import (
+	"fmt"
+
+	"tusim/internal/config"
+	"tusim/internal/event"
+	"tusim/internal/stats"
+)
+
+// Directory is the shared LLC with an embedded full-map directory. It
+// serializes coherence transactions per line with a busy bit and NACKs
+// concurrent requests, which is also how TUS's delay decision travels
+// back to a requester (Sec. III-C).
+type Directory struct {
+	cfg  *config.Config
+	q    *event.Queue
+	mem  *Memory
+	dram *DRAM
+	st   *stats.Set
+
+	privates []*Private
+
+	entries map[uint64]*dirEntry
+	sets    map[uint64][]*dirEntry
+	ways    int
+
+	reqLat uint64 // one-way private-L2 <-> LLC latency
+	netLat uint64 // one-way probe latency
+
+	lruTick uint64
+
+	cAccess, cNack, cProbes, cRecallFail *stats.Counter
+	cEvict, cOverflow                    *stats.Counter
+}
+
+type dirEntry struct {
+	line      uint64
+	data      LineData
+	hasData   bool
+	dirty     bool // newer than memory
+	owner     int  // -1 when unowned
+	sharers   uint64
+	busy      bool
+	busySince uint64
+	lru       uint64
+	// waiting queues requests that arrived while the line was busy;
+	// FIFO service prevents deterministic retry livelocks between
+	// contending cores.
+	waiting []queuedReq
+}
+
+type queuedReq struct {
+	src     int
+	wantM   bool
+	lowLane bool
+	cb      func(ok bool, data *LineData, excl bool)
+}
+
+// dirQueueCap bounds the per-line request queue; overflow is NACKed.
+const dirQueueCap = 24
+
+// BusyInfo reports whether a line's directory entry is busy and since
+// when (debugging aid).
+func (d *Directory) BusyInfo(line uint64) (bool, uint64) {
+	if e, ok := d.entries[line&LineMask]; ok {
+		return e.busy, e.busySince
+	}
+	return false, 0
+}
+
+// NewDirectory builds the LLC+directory.
+func NewDirectory(cfg *config.Config, q *event.Queue, mem *Memory, dram *DRAM, st *stats.Set) *Directory {
+	d := &Directory{
+		cfg:     cfg,
+		q:       q,
+		mem:     mem,
+		dram:    dram,
+		st:      st,
+		entries: make(map[uint64]*dirEntry),
+		sets:    make(map[uint64][]*dirEntry),
+		ways:    cfg.L3.Ways,
+		reqLat:  cfg.L3.Latency / 2,
+		netLat:  cfg.NetLatency,
+	}
+	d.cAccess = st.Counter("llc_accesses")
+	d.cNack = st.Counter("llc_nacks")
+	d.cProbes = st.Counter("llc_probes")
+	d.cEvict = st.Counter("llc_evictions")
+	d.cOverflow = st.Counter("llc_set_overflow")
+	d.cRecallFail = st.Counter("llc_recall_skips")
+	return d
+}
+
+// Attach registers the private hierarchies (called once at wiring time).
+func (d *Directory) Attach(ps []*Private) { d.privates = ps }
+
+func (d *Directory) set(line uint64) uint64 { return (line >> 6) % uint64(d.cfg.L3.Sets()) }
+
+// entry returns (allocating if needed) the directory entry for line.
+// Allocation may evict an un-cached-above victim; if every way is
+// pinned the set temporarily overflows (counted, never fatal).
+func (d *Directory) entry(line uint64) *dirEntry {
+	if e, ok := d.entries[line]; ok {
+		return e
+	}
+	s := d.set(line)
+	ways := d.sets[s]
+	if len(ways) >= d.ways {
+		var victim *dirEntry
+		for _, w := range ways {
+			if w.busy || w.owner >= 0 || w.sharers != 0 {
+				continue
+			}
+			if victim == nil || w.lru < victim.lru {
+				victim = w
+			}
+		}
+		if victim != nil {
+			d.cEvict.Inc()
+			if victim.dirty && victim.hasData {
+				d.mem.WriteLine(victim.line, &victim.data)
+				d.dram.Accesses++
+			}
+			delete(d.entries, victim.line)
+			d.sets[s] = removeDir(d.sets[s], victim)
+		} else {
+			d.cOverflow.Inc()
+			d.cRecallFail.Inc()
+		}
+	}
+	e := &dirEntry{line: line, owner: -1}
+	d.entries[line] = e
+	d.sets[s] = append(d.sets[s], e)
+	d.lruTick++
+	e.lru = d.lruTick
+	return e
+}
+
+func removeDir(s []*dirEntry, x *dirEntry) []*dirEntry {
+	for i, v := range s {
+		if v == x {
+			s[i] = s[len(s)-1]
+			return s[:len(s)-1]
+		}
+	}
+	return s
+}
+
+// Request is the private hierarchy's entry point for GetS/GetM. The
+// callback runs at response-arrival time at the requester; ok=false is
+// a NACK (busy line or TUS delay).
+func (d *Directory) Request(src int, line uint64, wantM, lowLane bool, cb func(ok bool, data *LineData, excl bool)) {
+	line &= LineMask
+	d.q.After(d.reqLat, func() { d.handle(src, line, wantM, lowLane, cb) })
+}
+
+// DebugLine, when nonzero, traces every transaction on that line.
+var DebugLine uint64
+
+func (d *Directory) handle(src int, line uint64, wantM, lowLane bool, cb func(ok bool, data *LineData, excl bool)) {
+	if DebugLine != 0 && line == DebugLine {
+		e := d.entries[line]
+		o, b := -1, false
+		if e != nil {
+			o, b = e.owner, e.busy
+		}
+		fmt.Printf("[%d] handle src=%d wantM=%v owner=%d busy=%v\n", d.q.Now(), src, wantM, o, b)
+	}
+	d.cAccess.Inc()
+	e := d.entry(line)
+	d.lruTick++
+	e.lru = d.lruTick
+	if e.busy {
+		if len(e.waiting) < dirQueueCap {
+			e.waiting = append(e.waiting, queuedReq{src: src, wantM: wantM, lowLane: lowLane, cb: cb})
+		} else {
+			d.cNack.Inc()
+			d.q.After(d.reqLat, func() { cb(false, nil, false) })
+		}
+		return
+	}
+	e.busy = true
+	e.busySince = d.q.Now()
+
+	nack := func() {
+		e.busy = false
+		d.cNack.Inc()
+		d.q.After(d.reqLat, func() { cb(false, nil, false) })
+		d.kick(e)
+	}
+	grant := func() {
+		if wantM {
+			e.owner = src
+			e.sharers = 0
+		} else {
+			if e.owner == src {
+				e.owner = -1
+			}
+			e.sharers |= 1 << uint(src)
+		}
+		excl := wantM || (e.owner < 0 && e.sharers == 1<<uint(src))
+		if excl && !wantM {
+			// Grant E: track as owner so future requests probe us.
+			e.owner = src
+			e.sharers = 0
+		}
+		data := e.data
+		// The line stays busy until the requester has applied the fill
+		// (cb runs synchronously at response arrival); this guarantees
+		// probes never race an in-flight fill.
+		d.q.After(d.reqLat, func() {
+			cb(true, &data, excl)
+			e.busy = false
+			d.kick(e)
+		})
+	}
+
+	// Step 2 runs once data and permissions are settled.
+	withData := func(next func()) {
+		if e.hasData {
+			next()
+			return
+		}
+		fill := func() {
+			d.mem.ReadLine(line, &e.data)
+			e.hasData = true
+			next()
+		}
+		if lowLane {
+			d.dram.AccessLow(fill)
+		} else {
+			d.dram.Access(fill)
+		}
+	}
+
+	// Collect the probe targets.
+	type target struct {
+		core int
+		kind ProbeKind
+	}
+	var targets []target
+	if e.owner >= 0 && e.owner != src {
+		k := ProbeDowngrade
+		if wantM {
+			k = ProbeInv
+		}
+		targets = append(targets, target{e.owner, k})
+	}
+	if wantM {
+		for c := range d.privates {
+			if c != src && e.owner != c && e.sharers&(1<<uint(c)) != 0 {
+				targets = append(targets, target{c, ProbeInv})
+			}
+		}
+	}
+
+	if len(targets) == 0 {
+		withData(grant)
+		return
+	}
+
+	pending := len(targets)
+	nacked := false
+	for _, t := range targets {
+		t := t
+		d.cProbes.Inc()
+		d.q.After(d.netLat, func() {
+			r := d.privates[t.core].Probe(line, t.kind)
+			d.q.After(d.netLat, func() {
+				switch r.Result {
+				case ProbeNack:
+					nacked = true
+				case ProbeStale:
+					// TUS relinquish: the old authorized copy becomes
+					// the coherent data and the owner loses the line.
+					e.data = *r.Data
+					e.hasData = true
+					e.dirty = true
+					if e.owner == t.core {
+						e.owner = -1
+					}
+				case ProbeAck:
+					if r.Data != nil {
+						e.data = *r.Data
+						e.hasData = true
+						e.dirty = true
+					}
+					if t.kind == ProbeInv {
+						e.sharers &^= 1 << uint(t.core)
+						if e.owner == t.core {
+							e.owner = -1
+						}
+					} else if e.owner == t.core {
+						// Downgrade: old owner stays on as a sharer.
+						e.owner = -1
+						e.sharers |= 1 << uint(t.core)
+					}
+				}
+				pending--
+				if pending == 0 {
+					if nacked {
+						nack()
+						return
+					}
+					withData(grant)
+				}
+			})
+		})
+	}
+}
+
+// kick services the next queued request for a line that just unbusied.
+// It runs synchronously so a queued request always beats any request
+// arriving later in the same cycle (otherwise deterministic retry
+// traffic can starve the queue forever).
+func (d *Directory) kick(e *dirEntry) {
+	if e.busy || len(e.waiting) == 0 {
+		return
+	}
+	next := e.waiting[0]
+	e.waiting = e.waiting[1:]
+	d.handle(next.src, e.line, next.wantM, next.lowLane, next.cb)
+}
+
+// WriteBack handles PutM-style eviction/relinquish traffic. ok=false
+// asks the private hierarchy to retry (busy line).
+func (d *Directory) WriteBack(src int, line uint64, data *LineData, cb func(ok bool)) {
+	line &= LineMask
+	d.q.After(d.reqLat, func() {
+		d.cAccess.Inc()
+		e := d.entry(line)
+		if e.busy {
+			d.q.After(d.reqLat, func() { cb(false) })
+			return
+		}
+		if e.owner == src {
+			e.owner = -1
+			e.data = *data
+			e.hasData = true
+			e.dirty = true
+		}
+		// A writeback from a non-owner is stale (the probe already
+		// collected the data); acknowledge and drop it.
+		d.q.After(d.reqLat, func() { cb(true) })
+	})
+}
+
+// OwnerOf reports the directory's notion of a line's owner (tests).
+func (d *Directory) OwnerOf(line uint64) int {
+	if e, ok := d.entries[line&LineMask]; ok {
+		return e.owner
+	}
+	return -1
+}
+
+// LLCData returns the LLC's copy of a line if present with valid data
+// (tests and coherent-view reads).
+func (d *Directory) LLCData(line uint64) *LineData {
+	if e, ok := d.entries[line&LineMask]; ok && e.hasData {
+		return &e.data
+	}
+	return nil
+}
+
+// SharersOf reports the sharer bitmask (tests).
+func (d *Directory) SharersOf(line uint64) uint64 {
+	if e, ok := d.entries[line&LineMask]; ok {
+		return e.sharers
+	}
+	return 0
+}

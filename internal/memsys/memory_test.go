@@ -1,0 +1,140 @@
+package memsys
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tusim/internal/event"
+)
+
+func TestMaskFor(t *testing.T) {
+	cases := []struct {
+		addr uint64
+		size uint8
+		want Mask
+	}{
+		{0x1000, 1, 0x1},
+		{0x1001, 1, 0x2},
+		{0x1000, 8, 0xFF},
+		{0x1038, 8, Mask(0xFF) << 56},
+		{0x1004, 4, 0xF0},
+		{0x1000, 0, 0},
+	}
+	for _, c := range cases {
+		if got := MaskFor(c.addr, c.size); got != c.want {
+			t.Errorf("MaskFor(%#x,%d) = %#x, want %#x", c.addr, c.size, got, c.want)
+		}
+	}
+}
+
+func TestMaskCoversOverlaps(t *testing.T) {
+	m := MaskFor(0x1000, 8)
+	if !m.Covers(MaskFor(0x1002, 4)) {
+		t.Error("8B mask must cover contained 4B")
+	}
+	if m.Covers(MaskFor(0x1006, 4)) {
+		t.Error("mask must not cover partially overlapping range")
+	}
+	if !m.Overlaps(MaskFor(0x1006, 4)) {
+		t.Error("partial ranges overlap")
+	}
+	if m.Overlaps(MaskFor(0x1008, 4)) {
+		t.Error("disjoint ranges do not overlap")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	var dst, src LineData
+	for i := range src {
+		src[i] = byte(i + 1)
+	}
+	Merge(&dst, &src, MaskFor(0x4, 4))
+	for i := 0; i < LineBytes; i++ {
+		want := byte(0)
+		if i >= 4 && i < 8 {
+			want = byte(i + 1)
+		}
+		if dst[i] != want {
+			t.Fatalf("byte %d = %d, want %d", i, dst[i], want)
+		}
+	}
+}
+
+// Property: Merge with mask m then with ^m reconstructs src entirely.
+func TestMergeComplementProperty(t *testing.T) {
+	f := func(m uint64, seed byte) bool {
+		var dst, src LineData
+		for i := range src {
+			src[i] = seed ^ byte(i)
+		}
+		Merge(&dst, &src, Mask(m))
+		Merge(&dst, &src, ^Mask(m))
+		return dst == src
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemoryZeroDefault(t *testing.T) {
+	m := NewMemory()
+	var d LineData
+	d[0] = 99
+	m.ReadLine(0x4000, &d)
+	if d != (LineData{}) {
+		t.Fatal("unwritten memory must read zero")
+	}
+}
+
+func TestMemoryRoundTrip(t *testing.T) {
+	m := NewMemory()
+	var w LineData
+	for i := range w {
+		w[i] = byte(i * 3)
+	}
+	m.WriteLine(0x1040, &w)
+	var r LineData
+	m.ReadLine(0x1040, &r)
+	if r != w {
+		t.Fatal("read != write")
+	}
+	// Offsets within the line address the same line.
+	m.ReadLine(0x105F, &r)
+	if r != w {
+		t.Fatal("line addressing must ignore offset bits")
+	}
+}
+
+func TestDRAMLatency(t *testing.T) {
+	q := event.NewQueue()
+	d := NewDRAM(q, 160, 32)
+	done := uint64(0)
+	d.Access(func() { done = q.Now() })
+	q.Drain(1 << 20)
+	if done != 160 {
+		t.Fatalf("DRAM access completed at %d, want 160", done)
+	}
+	if d.Accesses != 1 {
+		t.Fatalf("Accesses = %d", d.Accesses)
+	}
+}
+
+func TestDRAMBandwidthBound(t *testing.T) {
+	q := event.NewQueue()
+	d := NewDRAM(q, 100, 2)
+	var finishes []uint64
+	for i := 0; i < 4; i++ {
+		d.Access(func() { finishes = append(finishes, q.Now()) })
+	}
+	if d.InFlight() != 2 {
+		t.Fatalf("InFlight = %d, want 2 (bounded)", d.InFlight())
+	}
+	q.Drain(1 << 20)
+	if len(finishes) != 4 {
+		t.Fatalf("only %d accesses completed", len(finishes))
+	}
+	// First two at 100, next two serialized behind them at 200.
+	if finishes[0] != 100 || finishes[1] != 100 || finishes[2] != 200 || finishes[3] != 200 {
+		t.Fatalf("finish times %v, want [100 100 200 200]", finishes)
+	}
+}

@@ -1,0 +1,1015 @@
+package memsys
+
+import (
+	"fmt"
+
+	"tusim/internal/config"
+	"tusim/internal/event"
+	"tusim/internal/stats"
+)
+
+// MESI is the coherence permission a private hierarchy holds for a line.
+type MESI uint8
+
+// Coherence states.
+const (
+	StateI MESI = iota
+	StateS
+	StateE
+	StateM
+)
+
+// String returns the one-letter state name.
+func (s MESI) String() string { return [...]string{"I", "S", "E", "M"}[s] }
+
+// PLine is the private hierarchy's view of one cache line. It fuses the
+// L1D and private-L2 copies of a line: the L2 copy is the authorized
+// backup the coherence protocol can always see, while the L1 copy may
+// additionally hold temporarily unauthorized (not-visible) store data.
+type PLine struct {
+	Line  uint64
+	State MESI
+	InL1  bool
+	InL2  bool
+	// L1Data is the core-side copy (possibly containing unauthorized
+	// stores); L2Data is the last authorized version.
+	L1Data  LineData
+	L2Data  LineData
+	L1Dirty bool // L1Data is newer than L2Data
+	L2Dirty bool // L2Data is newer than the LLC copy
+
+	// TUS state (Sec. IV, Fig. 6): NotVisible hides the L1 copy from
+	// coherence; Ready means write permission was obtained and memory
+	// data was combined under UMask; UMask marks unauthorized bytes.
+	NotVisible bool
+	Ready      bool
+	UMask      Mask
+
+	lru1, lru2  uint64
+	loadWaiters []loadWait
+}
+
+type loadWait struct {
+	addr uint64
+	size uint8
+	cb   func([]byte)
+}
+
+type mshrEntry struct {
+	line      uint64
+	wantM     bool
+	upgradeM  bool // a writable request arrived while a GetS was in flight
+	autoRetry bool
+	// prefetch marks the MSHR-pool class; lowLane additionally routes
+	// the DRAM access through the low-priority lane (speculative read
+	// prefetches only — write-permission prefetches are accurate and
+	// stay on the demand lane).
+	prefetch bool
+	lowLane  bool
+	loads    []loadWait
+	writeCbs []func(ok bool)
+}
+
+type wbEntry struct {
+	data    LineData
+	retired bool // a probe already transferred ownership
+}
+
+// ProbeKind distinguishes invalidating probes (GetM) from downgrades (GetS).
+type ProbeKind uint8
+
+// Probe kinds.
+const (
+	ProbeInv ProbeKind = iota
+	ProbeDowngrade
+)
+
+// ProbeResult is the private hierarchy's synchronous answer to a probe.
+type ProbeResult uint8
+
+// Probe results.
+const (
+	// ProbeAck: done; Data is non-nil when the dirty copy travels back.
+	ProbeAck ProbeResult = iota
+	// ProbeNack: TUS delayed the request (requester must retry).
+	ProbeNack
+	// ProbeStale: TUS relinquished the line; Data carries the old
+	// authorized copy from the private L2 (Sec. III-C step 8).
+	ProbeStale
+)
+
+// ProbeReply is returned by Private.Probe.
+type ProbeReply struct {
+	Result ProbeResult
+	Data   *LineData
+}
+
+// ProbeAction is the UnauthorizedHandler's verdict on an external probe
+// hitting a not-visible line the core holds permission for.
+type ProbeAction uint8
+
+// Handler verdicts.
+const (
+	// ActionDelay NACKs the external request (this core's older stores
+	// all respect lex order, so it may proceed first).
+	ActionDelay ProbeAction = iota
+	// ActionRelinquish gives up the permission and serves the stale
+	// authorized data from the private L2.
+	ActionRelinquish
+)
+
+// UnauthorizedHandler is how TUS plugs into the coherence protocol.
+// All methods are called synchronously from memory-system events.
+type UnauthorizedHandler interface {
+	// HandleProbe decides the fate of an external probe that reached a
+	// line whose L1 copy is not visible while this core holds write
+	// permission for it.
+	HandleProbe(line uint64) ProbeAction
+	// HandleFill runs after a writable fill merged memory data under
+	// the unauthorized mask and marked the line ready.
+	HandleFill(line uint64)
+	// HandleRelinquish runs after the line's permission was surrendered
+	// (the L1 copy reverts to unauthorized).
+	HandleRelinquish(line uint64)
+}
+
+// Private models one core's L1D + private L2 (both write-back,
+// write-allocate, L1D inclusive in L2 — Table I).
+type Private struct {
+	ID  int
+	cfg *config.Config
+	q   *event.Queue
+	dir *Directory
+	st  *stats.Set
+
+	lines  map[uint64]*PLine
+	l1Sets [][]*PLine
+	l2Sets [][]*PLine
+
+	mshrs     map[uint64]*mshrEntry
+	mshrLimit int
+	// prefetch MSHRs live in their own pool so speculative traffic
+	// never blocks demand misses.
+	prefMSHRs     int
+	prefMSHRLimit int
+	wb            map[uint64]*wbEntry
+
+	handler UnauthorizedHandler
+	lruTick uint64
+
+	// OnDemandMiss lets a prefetcher observe the demand miss stream.
+	OnDemandMiss func(addr uint64, store bool)
+	// OnStoreVisible fires whenever store bytes become globally visible
+	// (consumed by the TSO checker).
+	OnStoreVisible func(line uint64, mask Mask, data *LineData)
+
+	cL1Hit, cL1Miss, cL2Hit, cL2Miss   *stats.Counter
+	cL1Write, cL2Update, cWriteback    *stats.Counter
+	cNack, cRelinquish, cPrefetchDrop  *stats.Counter
+	cLoads, cFillMerge, cL1SetOverflow *stats.Counter
+}
+
+// NewPrivate builds the private hierarchy for core id.
+func NewPrivate(id int, cfg *config.Config, q *event.Queue, dir *Directory, st *stats.Set) *Private {
+	p := &Private{
+		ID:            id,
+		cfg:           cfg,
+		q:             q,
+		dir:           dir,
+		st:            st,
+		lines:         make(map[uint64]*PLine),
+		l1Sets:        make([][]*PLine, cfg.L1D.Sets()),
+		l2Sets:        make([][]*PLine, cfg.L2.Sets()),
+		mshrs:         make(map[uint64]*mshrEntry),
+		mshrLimit:     cfg.L1D.MSHRs,
+		prefMSHRLimit: cfg.L1D.MSHRs / 2,
+		wb:            make(map[uint64]*wbEntry),
+	}
+	p.cL1Hit = st.Counter("l1d_hits")
+	p.cL1Miss = st.Counter("l1d_misses")
+	p.cL2Hit = st.Counter("l2_hits")
+	p.cL2Miss = st.Counter("l2_misses")
+	p.cL1Write = st.Counter("l1d_writes")
+	p.cL2Update = st.Counter("l2_updates")
+	p.cWriteback = st.Counter("writebacks")
+	p.cNack = st.Counter("probe_nacks")
+	p.cRelinquish = st.Counter("relinquishes")
+	p.cPrefetchDrop = st.Counter("prefetch_drops")
+	p.cLoads = st.Counter("l1d_reads")
+	p.cFillMerge = st.Counter("tus_fill_merges")
+	p.cL1SetOverflow = st.Counter("l1_alloc_fails")
+	return p
+}
+
+// SetHandler installs the TUS handler. Must be called before simulation.
+func (p *Private) SetHandler(h UnauthorizedHandler) { p.handler = h }
+
+func (p *Private) l1Set(line uint64) int { return int((line >> 6) % uint64(len(p.l1Sets))) }
+func (p *Private) l2Set(line uint64) int { return int((line >> 6) % uint64(len(p.l2Sets))) }
+
+// Lookup returns the private line state, or nil if untracked.
+func (p *Private) Lookup(line uint64) *PLine { return p.lines[line&LineMask] }
+
+// Writable reports whether the hierarchy holds E or M permission.
+func (p *Private) Writable(line uint64) bool {
+	pl := p.lines[line&LineMask]
+	return pl != nil && (pl.State == StateE || pl.State == StateM)
+}
+
+// MSHRFree reports whether a new demand miss can be tracked.
+func (p *Private) MSHRFree() bool { return len(p.mshrs)-p.prefMSHRs < p.mshrLimit }
+
+func (p *Private) touch1(pl *PLine) { p.lruTick++; pl.lru1 = p.lruTick }
+func (p *Private) touch2(pl *PLine) { p.lruTick++; pl.lru2 = p.lruTick }
+
+// ---------- Loads ----------
+
+// Load performs a timed read of size bytes at addr. cb receives the
+// data when the access completes. It returns false when the access
+// cannot even start (MSHRs full); the caller retries next cycle.
+func (p *Private) Load(addr uint64, size uint8, cb func([]byte)) bool {
+	line := addr & LineMask
+	p.cLoads.Inc()
+	pl := p.lines[line]
+
+	if pl != nil && pl.InL1 && pl.NotVisible && !pl.Ready {
+		// Unauthorized data without permission. When the written-byte
+		// mask fully covers the load, forward from the L1D (the paper's
+		// Sec. IV option, realized via a WOQ mask search); otherwise
+		// the load is aliased to the line and serviced when the write
+		// permission arrives.
+		want := MaskFor(addr, size)
+		if pl.UMask.Covers(want) {
+			p.st.Counter("woq_searches").Inc()
+			p.cL1Hit.Inc()
+			data := extract(&pl.L1Data, addr, size)
+			p.q.After(p.cfg.L1D.Latency, func() { cb(data) })
+			return true
+		}
+		pl.loadWaiters = append(pl.loadWaiters, loadWait{addr, size, cb})
+		return true
+	}
+	if pl != nil && pl.InL1 && pl.State != StateI {
+		p.cL1Hit.Inc()
+		p.touch1(pl)
+		data := extract(&pl.L1Data, addr, size)
+		p.q.After(p.cfg.L1D.Latency, func() { cb(data) })
+		return true
+	}
+	if pl != nil && pl.InL2 && pl.State != StateI {
+		// L1 miss, private L2 hit: allocate into L1 and serve.
+		p.cL1Miss.Inc()
+		p.cL2Hit.Inc()
+		if p.allocL1(pl) {
+			pl.L1Data = pl.L2Data
+			pl.L1Dirty = false
+		}
+		p.touch2(pl)
+		data := extract(&pl.L2Data, addr, size)
+		p.q.After(p.cfg.L2.Latency, func() { cb(data) })
+		return true
+	}
+	// Full miss.
+	if m := p.mshrs[line]; m != nil {
+		m.loads = append(m.loads, loadWait{addr, size, cb})
+		return true
+	}
+	if !p.MSHRFree() {
+		return false
+	}
+	p.cL1Miss.Inc()
+	p.cL2Miss.Inc()
+	if p.OnDemandMiss != nil {
+		p.OnDemandMiss(addr, false)
+	}
+	m := &mshrEntry{line: line, wantM: false, autoRetry: true}
+	m.loads = append(m.loads, loadWait{addr, size, cb})
+	p.mshrs[line] = m
+	p.send(m)
+	return true
+}
+
+// PrefetchRead starts a read (GetS) prefetch for line: a load miss
+// without a consumer. Prefetches are dropped when MSHRs run low and
+// never observe the demand-miss stream (no prefetcher feedback loops).
+func (p *Private) PrefetchRead(line uint64) bool {
+	line &= LineMask
+	pl := p.lines[line]
+	if pl != nil && ((pl.InL1 || pl.InL2) && pl.State != StateI || pl.NotVisible) {
+		return false
+	}
+	if p.mshrs[line] != nil {
+		return false
+	}
+	if p.prefMSHRs >= p.prefMSHRLimit {
+		p.cPrefetchDrop.Inc()
+		return false
+	}
+	p.cL2Miss.Inc()
+	m := &mshrEntry{line: line, autoRetry: false, prefetch: true, lowLane: true}
+	p.mshrs[line] = m
+	p.prefMSHRs++
+	p.send(m)
+	return true
+}
+
+// ---------- Write-permission requests ----------
+
+// RequestWritable asks for E/M permission on line. With autoRetry the
+// request is retried internally after NACKs until it succeeds and cb
+// always eventually fires with ok=true; without it a NACK frees the
+// MSHR and reports ok=false so the caller (TUS) can re-request under
+// its lex-order rule. prefetch requests are dropped (cb never called)
+// when MSHRs run low. Returns false if nothing could be started.
+func (p *Private) RequestWritable(line uint64, prefetch, autoRetry bool, cb func(ok bool)) bool {
+	line &= LineMask
+	if p.Writable(line) {
+		if cb != nil {
+			p.q.After(0, func() { cb(true) })
+		}
+		return true
+	}
+	if m := p.mshrs[line]; m != nil {
+		if !m.wantM {
+			m.upgradeM = true
+		}
+		if cb != nil {
+			// A controlled (TUS) requester simply shares the outcome of
+			// whatever request is already in flight.
+			m.writeCbs = append(m.writeCbs, cb)
+		}
+		return true
+	}
+	if prefetch && p.prefMSHRs >= p.prefMSHRLimit {
+		p.cPrefetchDrop.Inc()
+		return false
+	}
+	if !prefetch && !p.MSHRFree() {
+		return false
+	}
+	p.cL2Miss.Inc()
+	m := &mshrEntry{line: line, wantM: true, autoRetry: autoRetry, prefetch: prefetch}
+	if cb != nil {
+		m.writeCbs = append(m.writeCbs, cb)
+	}
+	p.mshrs[line] = m
+	if prefetch {
+		p.prefMSHRs++
+	}
+	p.send(m)
+	return true
+}
+
+func (p *Private) send(m *mshrEntry) {
+	p.dir.Request(p.ID, m.line, m.wantM, m.lowLane, func(ok bool, data *LineData, excl bool) {
+		if !ok {
+			if m.autoRetry {
+				p.q.After(p.cfg.NetLatency, func() { p.send(m) })
+				return
+			}
+			p.freeMSHR(m)
+			for _, cb := range m.writeCbs {
+				cb(false)
+			}
+			// Pending loads must not be dropped: reissue as a fresh
+			// auto-retried read request.
+			if len(m.loads) > 0 {
+				m2 := &mshrEntry{line: m.line, wantM: false, autoRetry: true, loads: m.loads}
+				p.mshrs[m.line] = m2
+				p.send(m2)
+			}
+			return
+		}
+		p.fill(m, data, excl)
+	})
+}
+
+// freeMSHR retires an MSHR, returning its pool slot.
+func (p *Private) freeMSHR(m *mshrEntry) {
+	if p.mshrs[m.line] == m {
+		delete(p.mshrs, m.line)
+	}
+	if m.prefetch {
+		p.prefMSHRs--
+	}
+}
+
+// fill applies a directory response. Runs inside the response event.
+func (p *Private) fill(m *mshrEntry, data *LineData, excl bool) {
+	line := m.line
+	pl := p.lines[line]
+	if pl == nil {
+		pl = &PLine{Line: line}
+		p.lines[line] = pl
+	}
+	// Allocate in the private L2 (inclusive point).
+	if !pl.InL2 {
+		p.allocL2(pl)
+	}
+	pl.L2Data = *data
+	pl.L2Dirty = false
+	p.touch2(pl)
+
+	switch {
+	case m.wantM:
+		pl.State = StateM
+	case excl:
+		pl.State = StateE
+	default:
+		pl.State = StateS
+	}
+
+	if pl.NotVisible && (pl.State == StateM || pl.State == StateE) {
+		// TUS: write permission granted — combine memory data with the
+		// unauthorized bytes (Fig. 7 (4)).
+		if !pl.InL1 {
+			panic(fmt.Sprintf("memsys: core %d not-visible line %#x lost its L1 copy", p.ID, line))
+		}
+		inv := ^pl.UMask
+		Merge(&pl.L1Data, data, inv)
+		pl.Ready = true
+		pl.L1Dirty = true
+		p.cFillMerge.Inc()
+		if p.handler != nil {
+			p.handler.HandleFill(line)
+		}
+	} else if pl.NotVisible {
+		// A read (S) fill reached a line holding unauthorized data —
+		// e.g. a stale prefetch. The L2 copy was updated above; the
+		// unauthorized L1 stash stays untouched and not ready until a
+		// writable fill arrives.
+	} else {
+		if !pl.InL1 {
+			if p.allocL1(pl) {
+				pl.L1Data = *data
+				pl.L1Dirty = false
+			}
+		} else {
+			pl.L1Data = *data
+			pl.L1Dirty = false
+		}
+	}
+
+	p.freeMSHR(m)
+
+	for _, lw := range m.loads {
+		if pl.NotVisible && !pl.Ready {
+			// The line turned unauthorized while this read was in
+			// flight: alias the load until permission arrives, like
+			// any other load to an unauthorized line.
+			pl.loadWaiters = append(pl.loadWaiters, lw)
+			continue
+		}
+		src := &pl.L2Data
+		if pl.InL1 {
+			src = &pl.L1Data
+		}
+		lw.cb(extract(src, lw.addr, lw.size))
+	}
+
+	if m.upgradeM && pl.State == StateS {
+		// A writable request piggybacked on an in-flight read: the read
+		// was granted shared, so chase it with a proper GetM carrying
+		// the write callbacks forward.
+		m2 := &mshrEntry{line: line, wantM: true, autoRetry: true, writeCbs: m.writeCbs}
+		p.mshrs[line] = m2
+		p.send(m2)
+	} else {
+		for _, cb := range m.writeCbs {
+			cb(true)
+		}
+	}
+	p.wakeLoadWaiters(pl)
+}
+
+func (p *Private) wakeLoadWaiters(pl *PLine) {
+	if pl.NotVisible && !pl.Ready {
+		return
+	}
+	ws := pl.loadWaiters
+	pl.loadWaiters = nil
+	for _, lw := range ws {
+		lw := lw
+		data := extract(&pl.L1Data, lw.addr, lw.size)
+		p.q.After(p.cfg.L1D.Latency, func() { lw.cb(data) })
+	}
+}
+
+// ---------- Visible stores (baseline, CSB, SSB, TUS-authorized) ----------
+
+// StoreVisible writes data at addr into a line the hierarchy holds
+// writable, making it coherently visible immediately. Returns false if
+// the line is not writable or not allocatable in L1.
+func (p *Private) StoreVisible(addr uint64, data []byte) bool {
+	line := addr & LineMask
+	pl := p.lines[line]
+	if pl == nil || (pl.State != StateE && pl.State != StateM) {
+		return false
+	}
+	if pl.NotVisible {
+		panic("memsys: StoreVisible on a not-visible line; use the TUS paths")
+	}
+	if !pl.InL1 {
+		if !p.allocL1(pl) {
+			return false
+		}
+		pl.L1Data = pl.L2Data
+		pl.L1Dirty = false
+		p.cL2Hit.Inc()
+	}
+	off := addr & (LineBytes - 1)
+	copy(pl.L1Data[off:], data)
+	pl.State = StateM
+	pl.L1Dirty = true
+	p.touch1(pl)
+	p.cL1Write.Inc()
+	if p.OnStoreVisible != nil {
+		p.OnStoreVisible(line, MaskFor(addr, uint8(len(data))), &pl.L1Data)
+	}
+	return true
+}
+
+// StoreVisibleLine writes an entire coalesced mask of bytes into a
+// writable line (CSB's atomic group writes). Returns false if the line
+// is not writable or not allocatable in L1.
+func (p *Private) StoreVisibleLine(line uint64, data *LineData, mask Mask) bool {
+	line &= LineMask
+	pl := p.lines[line]
+	if pl == nil || (pl.State != StateE && pl.State != StateM) {
+		return false
+	}
+	if pl.NotVisible {
+		panic("memsys: StoreVisibleLine on a not-visible line")
+	}
+	if !pl.InL1 {
+		if !p.allocL1(pl) {
+			return false
+		}
+		pl.L1Data = pl.L2Data
+		pl.L1Dirty = false
+	}
+	Merge(&pl.L1Data, data, mask)
+	pl.State = StateM
+	pl.L1Dirty = true
+	p.touch1(pl)
+	p.cL1Write.Inc()
+	if p.OnStoreVisible != nil {
+		p.OnStoreVisible(line, mask, &pl.L1Data)
+	}
+	return true
+}
+
+// ---------- TUS store paths ----------
+
+// StoreUnauthorizedLine is the line-granular unauthorized write used
+// when a WCB flushes a coalesced group into the L1D.
+func (p *Private) StoreUnauthorizedLine(line uint64, data *LineData, mask Mask) bool {
+	line &= LineMask
+	pl := p.lines[line]
+	if pl == nil {
+		pl = &PLine{Line: line}
+		p.lines[line] = pl
+	}
+	if !pl.InL1 {
+		if !p.allocL1(pl) {
+			p.cL1SetOverflow.Inc()
+			return false
+		}
+		if pl.InL2 {
+			pl.L1Data = pl.L2Data
+		} else {
+			pl.L1Data = LineData{}
+		}
+		pl.L1Dirty = false
+	}
+	Merge(&pl.L1Data, data, mask)
+	pl.UMask |= mask
+	pl.NotVisible = true
+	pl.Ready = false
+	p.touch1(pl)
+	p.cL1Write.Inc()
+	return true
+}
+
+// StoreUnauthorizedHitLine coalesces a mask of bytes into an existing
+// not-visible line (WOQ-level store cycle).
+func (p *Private) StoreUnauthorizedHitLine(line uint64, data *LineData, mask Mask) {
+	line &= LineMask
+	pl := p.lines[line]
+	if pl == nil || !pl.NotVisible || !pl.InL1 {
+		panic("memsys: StoreUnauthorizedHitLine on a line that is not an unauthorized L1 resident")
+	}
+	Merge(&pl.L1Data, data, mask)
+	pl.UMask |= mask
+	p.touch1(pl)
+	p.cL1Write.Inc()
+}
+
+// StoreOverVisibleLine is the line-granular "authorized hit" TUS path.
+func (p *Private) StoreOverVisibleLine(line uint64, data *LineData, mask Mask) bool {
+	line &= LineMask
+	pl := p.lines[line]
+	if pl == nil || (pl.State != StateE && pl.State != StateM) || pl.NotVisible {
+		return false
+	}
+	if !pl.InL1 {
+		if !p.allocL1(pl) {
+			return false
+		}
+		pl.L1Data = pl.L2Data
+		pl.L1Dirty = false
+	}
+	if !pl.InL2 {
+		p.allocL2(pl)
+	}
+	pl.L2Data = pl.L1Data
+	pl.L2Dirty = pl.L2Dirty || pl.L1Dirty
+	p.cL2Update.Inc()
+
+	Merge(&pl.L1Data, data, mask)
+	pl.UMask = mask
+	pl.NotVisible = true
+	pl.Ready = true
+	pl.State = StateM
+	p.touch1(pl)
+	p.cL1Write.Inc()
+	return true
+}
+
+// StoreUnauthorized places store bytes in L1 without permission,
+// marking the line not visible (Fig. 7 left path). If the line is
+// absent it is allocated; if present and visible-but-unwritable (S),
+// the read permission is kept but the copy becomes invisible. Returns
+// false when no L1 way can host the line.
+func (p *Private) StoreUnauthorized(addr uint64, data []byte) bool {
+	line := addr & LineMask
+	pl := p.lines[line]
+	if pl == nil {
+		pl = &PLine{Line: line}
+		p.lines[line] = pl
+	}
+	if !pl.InL1 {
+		if !p.allocL1(pl) {
+			p.cL1SetOverflow.Inc()
+			return false
+		}
+		if pl.InL2 {
+			pl.L1Data = pl.L2Data
+		} else {
+			pl.L1Data = LineData{}
+		}
+		pl.L1Dirty = false
+	}
+	off := addr & (LineBytes - 1)
+	copy(pl.L1Data[off:], data)
+	pl.UMask |= MaskFor(addr, uint8(len(data)))
+	pl.NotVisible = true
+	pl.Ready = false
+	p.touch1(pl)
+	p.cL1Write.Inc()
+	return true
+}
+
+// StoreUnauthorizedHit coalesces more bytes into an existing
+// not-visible line (a store cycle, Sec. III-B). The caller must have
+// verified the line is not visible.
+func (p *Private) StoreUnauthorizedHit(addr uint64, data []byte) {
+	line := addr & LineMask
+	pl := p.lines[line]
+	if pl == nil || !pl.NotVisible || !pl.InL1 {
+		panic("memsys: StoreUnauthorizedHit on a line that is not an unauthorized L1 resident")
+	}
+	off := addr & (LineBytes - 1)
+	copy(pl.L1Data[off:], data)
+	pl.UMask |= MaskFor(addr, uint8(len(data)))
+	p.touch1(pl)
+	p.cL1Write.Inc()
+}
+
+// StoreOverVisible implements the TUS "authorized hit on a modified
+// line" path (Fig. 7 (3)): the current data is first pushed to the
+// private L2 so a valid authorized copy survives, then the new bytes
+// are written and the line turns not-visible but ready.
+func (p *Private) StoreOverVisible(addr uint64, data []byte) bool {
+	line := addr & LineMask
+	pl := p.lines[line]
+	if pl == nil || (pl.State != StateE && pl.State != StateM) || pl.NotVisible {
+		return false
+	}
+	if !pl.InL1 {
+		if !p.allocL1(pl) {
+			return false
+		}
+		pl.L1Data = pl.L2Data
+		pl.L1Dirty = false
+	}
+	// Push the authorized copy down (energy: an L2 update, Sec. VI-A).
+	if !pl.InL2 {
+		p.allocL2(pl)
+	}
+	pl.L2Data = pl.L1Data
+	pl.L2Dirty = pl.L2Dirty || pl.L1Dirty
+	p.cL2Update.Inc()
+
+	off := addr & (LineBytes - 1)
+	copy(pl.L1Data[off:], data)
+	pl.UMask = MaskFor(addr, uint8(len(data)))
+	pl.NotVisible = true
+	pl.Ready = true
+	pl.State = StateM
+	p.touch1(pl)
+	p.cL1Write.Inc()
+	return true
+}
+
+// MakeVisible flips a ready not-visible line into an ordinary modified
+// line, publishing its bytes to the coherent world.
+func (p *Private) MakeVisible(line uint64) {
+	pl := p.lines[line&LineMask]
+	if pl == nil || !pl.NotVisible || !pl.Ready {
+		panic("memsys: MakeVisible on a line that is not ready")
+	}
+	if pl.State != StateM && pl.State != StateE {
+		panic(fmt.Sprintf("memsys: MakeVisible without permission (state %v)", pl.State))
+	}
+	mask := pl.UMask
+	pl.NotVisible = false
+	pl.Ready = false
+	pl.UMask = 0
+	pl.State = StateM
+	pl.L1Dirty = true
+	if p.OnStoreVisible != nil {
+		p.OnStoreVisible(pl.Line, mask, &pl.L1Data)
+	}
+	p.wakeLoadWaiters(pl)
+}
+
+// ---------- Capacity management ----------
+
+// L1WaysAvailable reports whether all the given lines could reside in
+// L1 simultaneously (the atomic-group associativity restriction,
+// Sec. III-B). Lines already resident count as satisfied.
+func (p *Private) L1WaysAvailable(lines []uint64) bool {
+	need := map[int]int{}
+	for _, ln := range lines {
+		ln &= LineMask
+		pl := p.lines[ln]
+		if pl != nil && pl.InL1 {
+			continue
+		}
+		need[p.l1Set(ln)]++
+	}
+	for set, n := range need {
+		free := p.cfg.L1D.Ways - len(p.l1Sets[set])
+		evictable := 0
+		for _, v := range p.l1Sets[set] {
+			if p.l1Evictable(v) {
+				evictable++
+			}
+		}
+		if free+evictable < n {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *Private) l1Evictable(pl *PLine) bool {
+	return !pl.NotVisible && p.mshrs[pl.Line] == nil && len(pl.loadWaiters) == 0
+}
+
+// allocL1 places pl into its L1 set, evicting if needed. Returns false
+// when every way is pinned (locked or not visible).
+func (p *Private) allocL1(pl *PLine) bool {
+	set := p.l1Set(pl.Line)
+	ways := p.l1Sets[set]
+	if len(ways) >= p.cfg.L1D.Ways {
+		victim := p.pickL1Victim(ways)
+		if victim == nil {
+			return false
+		}
+		p.evictL1(victim)
+	}
+	p.l1Sets[set] = append(p.l1Sets[set], pl)
+	pl.InL1 = true
+	p.touch1(pl)
+	return true
+}
+
+func (p *Private) pickL1Victim(ways []*PLine) *PLine {
+	var victim *PLine
+	for _, w := range ways {
+		if !p.l1Evictable(w) {
+			continue
+		}
+		if victim == nil || w.lru1 < victim.lru1 {
+			victim = w
+		}
+	}
+	return victim
+}
+
+// evictL1 removes pl from L1, writing dirty data back into the L2 copy.
+func (p *Private) evictL1(pl *PLine) {
+	set := p.l1Set(pl.Line)
+	p.l1Sets[set] = remove(p.l1Sets[set], pl)
+	pl.InL1 = false
+	if pl.L1Dirty {
+		if !pl.InL2 {
+			p.allocL2(pl)
+		}
+		pl.L2Data = pl.L1Data
+		pl.L2Dirty = true
+		pl.L1Dirty = false
+		p.cL2Update.Inc()
+	}
+	p.gc(pl)
+}
+
+// allocL2 places pl into its L2 set, evicting (and recalling from L1)
+// as needed. The L2 has 16 ways; when every way is pinned we allow a
+// temporary overflow and count it rather than deadlock the fill path.
+func (p *Private) allocL2(pl *PLine) {
+	set := p.l2Set(pl.Line)
+	ways := p.l2Sets[set]
+	if len(ways) >= p.cfg.L2.Ways {
+		var victim *PLine
+		for _, w := range ways {
+			if w.NotVisible || p.mshrs[w.Line] != nil || len(w.loadWaiters) > 0 {
+				continue // inclusive: cannot evict below a pinned L1 line
+			}
+			if victim == nil || w.lru2 < victim.lru2 {
+				victim = w
+			}
+		}
+		if victim != nil {
+			p.evictL2(victim)
+		} else {
+			p.st.Counter("l2_set_overflow").Inc()
+		}
+	}
+	p.l2Sets[set] = append(p.l2Sets[set], pl)
+	pl.InL2 = true
+	p.touch2(pl)
+}
+
+// evictL2 removes pl from the hierarchy entirely (inclusive), issuing a
+// writeback when this hierarchy owns the line or holds dirty data.
+func (p *Private) evictL2(pl *PLine) {
+	if pl.InL1 {
+		p.evictL1(pl)
+	}
+	p.dropL2(pl)
+	owned := pl.State == StateM || pl.State == StateE
+	dirty := pl.L2Dirty
+	if owned || dirty {
+		data := pl.L2Data
+		p.writeBack(pl.Line, &data)
+	}
+	pl.State = StateI
+	pl.L2Dirty = false
+	p.gc(pl)
+}
+
+func (p *Private) dropL2(pl *PLine) {
+	if !pl.InL2 {
+		return
+	}
+	set := p.l2Set(pl.Line)
+	p.l2Sets[set] = remove(p.l2Sets[set], pl)
+	pl.InL2 = false
+}
+
+// gc forgets a line that holds no state worth tracking.
+func (p *Private) gc(pl *PLine) {
+	if pl.InL1 || pl.InL2 || pl.NotVisible || pl.State != StateI ||
+		p.mshrs[pl.Line] != nil || len(pl.loadWaiters) > 0 {
+		return
+	}
+	delete(p.lines, pl.Line)
+}
+
+func remove(s []*PLine, x *PLine) []*PLine {
+	for i, v := range s {
+		if v == x {
+			s[i] = s[len(s)-1]
+			return s[:len(s)-1]
+		}
+	}
+	return s
+}
+
+// writeBack sends the data to the directory, retrying NACKs from a
+// writeback buffer that external probes can also service.
+func (p *Private) writeBack(line uint64, data *LineData) {
+	p.cWriteback.Inc()
+	e := &wbEntry{data: *data}
+	p.wb[line] = e
+	var try func()
+	try = func() {
+		if e.retired {
+			delete(p.wb, line)
+			return
+		}
+		p.dir.WriteBack(p.ID, line, &e.data, func(ok bool) {
+			if !ok && !e.retired {
+				p.q.After(p.cfg.NetLatency, try)
+				return
+			}
+			delete(p.wb, line)
+		})
+	}
+	try()
+}
+
+// ---------- Probes ----------
+
+// Probe handles an external coherence request delivered by the
+// directory. It runs synchronously at probe-arrival time.
+func (p *Private) Probe(line uint64, kind ProbeKind) ProbeReply {
+	line &= LineMask
+	if e, ok := p.wb[line]; ok {
+		// The line was being written back; hand the data over directly.
+		e.retired = true
+		d := e.data
+		return ProbeReply{Result: ProbeAck, Data: &d}
+	}
+	pl := p.lines[line]
+	if pl == nil || (pl.State == StateI && !pl.NotVisible) {
+		return ProbeReply{Result: ProbeAck}
+	}
+
+	if pl.NotVisible && (pl.State == StateM || pl.State == StateE) {
+		// The probed line holds unauthorized data under our write
+		// permission: defer to the authorization unit (Sec. III-C).
+		action := ActionDelay
+		if p.handler != nil {
+			action = p.handler.HandleProbe(line)
+		}
+		if action == ActionDelay {
+			p.cNack.Inc()
+			return ProbeReply{Result: ProbeNack}
+		}
+		p.cRelinquish.Inc()
+		old := pl.L2Data
+		pl.State = StateI
+		pl.Ready = false
+		p.dropL2(pl)
+		if p.handler != nil {
+			p.handler.HandleRelinquish(line)
+		}
+		return ProbeReply{Result: ProbeStale, Data: &old}
+	}
+
+	if pl.NotVisible {
+		// Unauthorized stash without permission; we are at most a
+		// sharer in the directory's eyes. Drop the read permission but
+		// keep the stash.
+		pl.State = StateI
+		p.dropL2(pl)
+		return ProbeReply{Result: ProbeAck}
+	}
+
+	var data *LineData
+	dirty := pl.L1Dirty || pl.L2Dirty || pl.State == StateM
+	if dirty {
+		d := pl.L2Data
+		if pl.InL1 && pl.L1Dirty {
+			d = pl.L1Data
+		}
+		data = &d
+	}
+	switch kind {
+	case ProbeInv:
+		pl.State = StateI
+		if pl.InL1 {
+			p.evictL1noWB(pl)
+		}
+		p.dropL2(pl)
+		pl.L1Dirty, pl.L2Dirty = false, false
+		p.gc(pl)
+	case ProbeDowngrade:
+		pl.State = StateS
+		if pl.InL1 && pl.L1Dirty {
+			pl.L2Data = pl.L1Data
+		}
+		pl.L1Dirty, pl.L2Dirty = false, false
+	}
+	return ProbeReply{Result: ProbeAck, Data: data}
+}
+
+// evictL1noWB removes the L1 residency without pushing data to L2
+// (used on invalidation, where the data already left via the probe).
+func (p *Private) evictL1noWB(pl *PLine) {
+	set := p.l1Set(pl.Line)
+	p.l1Sets[set] = remove(p.l1Sets[set], pl)
+	pl.InL1 = false
+}
+
+// extract copies size bytes at addr out of a line.
+func extract(l *LineData, addr uint64, size uint8) []byte {
+	off := addr & (LineBytes - 1)
+	out := make([]byte, size)
+	copy(out, l[off:])
+	return out
+}

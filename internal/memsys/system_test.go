@@ -1,0 +1,331 @@
+package memsys
+
+import (
+	"testing"
+
+	"tusim/internal/config"
+	"tusim/internal/event"
+	"tusim/internal/stats"
+)
+
+// rig wires N private hierarchies to one directory for protocol tests.
+type rig struct {
+	cfg *config.Config
+	q   *event.Queue
+	mem *Memory
+	dir *Directory
+	ps  []*Private
+	st  *stats.Set
+}
+
+func newRig(t testing.TB, cores int, mut func(*config.Config)) *rig {
+	t.Helper()
+	cfg := config.Default().WithCores(cores)
+	if mut != nil {
+		mut(cfg)
+	}
+	q := event.NewQueue()
+	mem := NewMemory()
+	st := stats.NewSet("sys")
+	dram := NewDRAM(q, cfg.DRAMLatency, cfg.DRAMMaxInFlight)
+	dir := NewDirectory(cfg, q, mem, dram, st)
+	ps := make([]*Private, cores)
+	for i := range ps {
+		ps[i] = NewPrivate(i, cfg, q, dir, stats.NewSet("p"))
+	}
+	dir.Attach(ps)
+	return &rig{cfg: cfg, q: q, mem: mem, dir: dir, ps: ps, st: st}
+}
+
+func (r *rig) run(t testing.TB) {
+	t.Helper()
+	r.q.Drain(r.q.Now() + 1_000_000)
+}
+
+func (r *rig) mustLoad(t testing.TB, core int, addr uint64, size uint8) []byte {
+	t.Helper()
+	var got []byte
+	if !r.ps[core].Load(addr, size, func(d []byte) { got = d }) {
+		t.Fatalf("Load(%#x) could not start", addr)
+	}
+	r.run(t)
+	if got == nil {
+		t.Fatalf("Load(%#x) never completed", addr)
+	}
+	return got
+}
+
+func (r *rig) mustWritable(t testing.TB, core int, line uint64) {
+	t.Helper()
+	ok := false
+	if !r.ps[core].RequestWritable(line, false, true, func(b bool) { ok = b }) {
+		t.Fatalf("RequestWritable(%#x) could not start", line)
+	}
+	r.run(t)
+	if !ok {
+		t.Fatalf("RequestWritable(%#x) never granted", line)
+	}
+}
+
+func TestLoadMissFillHit(t *testing.T) {
+	r := newRig(t, 1, nil)
+	var seed LineData
+	for i := range seed {
+		seed[i] = byte(i)
+	}
+	r.mem.WriteLine(0x1000, &seed)
+
+	start := r.q.Now()
+	var doneAt uint64
+	r.ps[0].Load(0x1008, 4, func(d []byte) {
+		doneAt = r.q.Now()
+		if d[0] != 8 || d[3] != 11 {
+			t.Errorf("load data = %v", d)
+		}
+	})
+	r.run(t)
+	// Miss path: L3 round trip (34) + DRAM (160).
+	want := start + r.cfg.L3.Latency + r.cfg.DRAMLatency
+	if doneAt != want {
+		t.Errorf("miss completed at %d, want %d", doneAt, want)
+	}
+
+	// Second access is an L1 hit at L1 latency.
+	start = r.q.Now()
+	r.ps[0].Load(0x1000, 8, func(d []byte) { doneAt = r.q.Now() })
+	r.run(t)
+	if doneAt != start+r.cfg.L1D.Latency {
+		t.Errorf("hit completed at %d, want %d", doneAt, start+r.cfg.L1D.Latency)
+	}
+	if r.ps[0].st.Get("l1d_hits") != 1 {
+		t.Errorf("l1d_hits = %d, want 1", r.ps[0].st.Get("l1d_hits"))
+	}
+}
+
+func TestLoadMergesIntoMSHR(t *testing.T) {
+	r := newRig(t, 1, nil)
+	done := 0
+	r.ps[0].Load(0x2000, 8, func([]byte) { done++ })
+	r.ps[0].Load(0x2008, 8, func([]byte) { done++ })
+	if got := r.st.Get("llc_accesses"); got != 0 {
+		t.Fatalf("llc access counted before arrival: %d", got)
+	}
+	r.run(t)
+	if done != 2 {
+		t.Fatalf("done = %d, want 2", done)
+	}
+	if got := r.st.Get("llc_accesses"); got != 1 {
+		t.Fatalf("llc_accesses = %d, want 1 (merged into one MSHR)", got)
+	}
+}
+
+func TestStoreRequiresPermission(t *testing.T) {
+	r := newRig(t, 1, nil)
+	if r.ps[0].StoreVisible(0x3000, []byte{1, 2, 3, 4}) {
+		t.Fatal("store succeeded without permission")
+	}
+	r.mustWritable(t, 0, 0x3000)
+	if !r.ps[0].StoreVisible(0x3004, []byte{9, 9}) {
+		t.Fatal("store failed with M permission")
+	}
+	got := r.mustLoad(t, 0, 0x3004, 2)
+	if got[0] != 9 || got[1] != 9 {
+		t.Fatalf("load after store = %v", got)
+	}
+}
+
+func TestExclusiveGrantOnSoleReader(t *testing.T) {
+	r := newRig(t, 2, nil)
+	r.mustLoad(t, 0, 0x4000, 8)
+	pl := r.ps[0].Lookup(0x4000)
+	if pl == nil || pl.State != StateE {
+		t.Fatalf("sole reader state = %v, want E", pl.State)
+	}
+	// Second core loads: first core downgrades to S.
+	r.mustLoad(t, 1, 0x4000, 8)
+	if got := r.ps[0].Lookup(0x4000).State; got != StateS {
+		t.Fatalf("old owner state = %v, want S", got)
+	}
+	if got := r.ps[1].Lookup(0x4000).State; got != StateS {
+		t.Fatalf("new reader state = %v, want S", got)
+	}
+}
+
+func TestWriteInvalidatesSharers(t *testing.T) {
+	r := newRig(t, 2, nil)
+	r.mustLoad(t, 0, 0x5000, 8)
+	r.mustLoad(t, 1, 0x5000, 8)
+	r.mustWritable(t, 1, 0x5000)
+	if pl := r.ps[0].Lookup(0x5000); pl != nil && pl.State != StateI {
+		t.Fatalf("sharer not invalidated: %v", pl.State)
+	}
+	if !r.ps[1].Writable(0x5000) {
+		t.Fatal("writer did not gain M")
+	}
+	if r.dir.OwnerOf(0x5000) != 1 {
+		t.Fatalf("directory owner = %d, want 1", r.dir.OwnerOf(0x5000))
+	}
+}
+
+func TestDirtyDataMigrates(t *testing.T) {
+	r := newRig(t, 2, nil)
+	r.mustWritable(t, 0, 0x6000)
+	if !r.ps[0].StoreVisible(0x6000, []byte{0xAB, 0xCD}) {
+		t.Fatal("store failed")
+	}
+	got := r.mustLoad(t, 1, 0x6000, 2)
+	if got[0] != 0xAB || got[1] != 0xCD {
+		t.Fatalf("remote read saw %v, want dirty data", got)
+	}
+	// And write-write migration:
+	r.mustWritable(t, 1, 0x6000)
+	if !r.ps[1].StoreVisible(0x6002, []byte{0xEF}) {
+		t.Fatal("second store failed")
+	}
+	got = r.mustLoad(t, 0, 0x6000, 4)
+	if got[0] != 0xAB || got[1] != 0xCD || got[2] != 0xEF {
+		t.Fatalf("migrated data = %v", got)
+	}
+}
+
+func TestL1EvictionWritesBackThroughL2(t *testing.T) {
+	// Shrink L1 to 2 sets x 1 way to force eviction quickly.
+	r := newRig(t, 1, func(c *config.Config) {
+		c.L1D.SizeBytes = 2 * 64
+		c.L1D.Ways = 1
+	})
+	r.mustWritable(t, 0, 0x0)
+	if !r.ps[0].StoreVisible(0x0, []byte{0x77}) {
+		t.Fatal("store failed")
+	}
+	// Load two more lines mapping to set 0 (line addr multiples of 128).
+	r.mustLoad(t, 0, 0x80, 8)
+	r.mustLoad(t, 0, 0x100, 8)
+	pl := r.ps[0].Lookup(0x0)
+	if pl == nil {
+		t.Fatal("line 0 fully lost")
+	}
+	if pl.InL1 {
+		t.Fatal("line 0 should have been evicted from L1")
+	}
+	if !pl.InL2 || pl.L2Data[0] != 0x77 {
+		t.Fatal("dirty data not written back to L2")
+	}
+	// And it still reads correctly (L2 hit).
+	got := r.mustLoad(t, 0, 0x0, 1)
+	if got[0] != 0x77 {
+		t.Fatalf("reload = %v", got)
+	}
+}
+
+func TestBusyLineSerializesRequests(t *testing.T) {
+	r := newRig(t, 2, nil)
+	okA, okB := false, false
+	var grantA, grantB uint64
+	r.ps[0].RequestWritable(0x7000, false, true, func(b bool) { okA = b; grantA = r.q.Now() })
+	r.ps[1].RequestWritable(0x7000, false, true, func(b bool) { okB = b; grantB = r.q.Now() })
+	r.run(t)
+	if !okA || !okB {
+		t.Fatalf("requests not eventually granted: A=%v B=%v", okA, okB)
+	}
+	if grantA == grantB {
+		t.Fatal("conflicting writable grants completed simultaneously")
+	}
+	// The second grant must have waited for (and invalidated) the first.
+	owner := r.dir.OwnerOf(0x7000)
+	if owner != 0 && owner != 1 {
+		t.Fatalf("owner = %d", owner)
+	}
+	if r.ps[0].Writable(0x7000) && r.ps[1].Writable(0x7000) {
+		t.Fatal("both cores writable: coherence violation")
+	}
+	if !r.ps[owner].Writable(0x7000) {
+		t.Fatal("directory owner does not hold the line")
+	}
+}
+
+func TestMSHRLimit(t *testing.T) {
+	r := newRig(t, 1, func(c *config.Config) { c.L1D.MSHRs = 2 })
+	if !r.ps[0].Load(0x100, 8, func([]byte) {}) {
+		t.Fatal("first load rejected")
+	}
+	if !r.ps[0].Load(0x200, 8, func([]byte) {}) {
+		t.Fatal("second load rejected")
+	}
+	if r.ps[0].Load(0x300, 8, func([]byte) {}) {
+		t.Fatal("third load should have been rejected (MSHRs full)")
+	}
+	r.run(t)
+	if !r.ps[0].Load(0x300, 8, func([]byte) {}) {
+		t.Fatal("load rejected after MSHRs drained")
+	}
+}
+
+func TestUpgradeFromShared(t *testing.T) {
+	r := newRig(t, 2, nil)
+	r.mustLoad(t, 0, 0x8000, 8)
+	r.mustLoad(t, 1, 0x8000, 8)
+	r.mustWritable(t, 0, 0x8000)
+	if !r.ps[0].Writable(0x8000) {
+		t.Fatal("upgrade did not grant M")
+	}
+	if pl := r.ps[1].Lookup(0x8000); pl != nil && pl.State != StateI {
+		t.Fatal("other sharer kept its copy across an upgrade")
+	}
+}
+
+func TestUpgradePiggybacksOnInflightRead(t *testing.T) {
+	r := newRig(t, 2, nil)
+	// Make the line shared by the other core first so core 0's read
+	// will be granted S (not E), forcing a real two-step upgrade.
+	r.mustLoad(t, 1, 0x9000, 8)
+	gotLoad := false
+	okW := false
+	r.ps[0].Load(0x9000, 8, func([]byte) { gotLoad = true })
+	r.ps[0].RequestWritable(0x9000, false, true, func(b bool) { okW = b })
+	r.run(t)
+	if !gotLoad || !okW {
+		t.Fatalf("load=%v writable=%v", gotLoad, okW)
+	}
+	if !r.ps[0].Writable(0x9000) {
+		t.Fatal("line not writable after piggybacked upgrade")
+	}
+}
+
+func TestWritebackBufferServicesProbe(t *testing.T) {
+	// 1-way L1 and 1-way L2 so eviction triggers a PutM; probe the line
+	// while the writeback may be in flight.
+	r := newRig(t, 2, func(c *config.Config) {
+		c.L1D.SizeBytes = 64
+		c.L1D.Ways = 1
+		c.L2.SizeBytes = 64
+		c.L2.Ways = 1
+	})
+	r.mustWritable(t, 0, 0x0)
+	if !r.ps[0].StoreVisible(0x0, []byte{0x42}) {
+		t.Fatal("store failed")
+	}
+	// Evict by touching another line; immediately have core 1 read the
+	// dirty line.
+	var got []byte
+	r.ps[0].Load(0x40, 8, func([]byte) {})
+	r.ps[1].Load(0x0, 1, func(d []byte) { got = d })
+	r.run(t)
+	if got == nil || got[0] != 0x42 {
+		t.Fatalf("remote read during writeback = %v, want 0x42", got)
+	}
+}
+
+func TestStoreVisibleListener(t *testing.T) {
+	r := newRig(t, 1, nil)
+	var gotLine uint64
+	var gotMask Mask
+	r.ps[0].OnStoreVisible = func(line uint64, mask Mask, data *LineData) {
+		gotLine, gotMask = line, mask
+	}
+	r.mustWritable(t, 0, 0xA000)
+	r.ps[0].StoreVisible(0xA004, []byte{1, 2, 3, 4})
+	if gotLine != 0xA000 || gotMask != MaskFor(0xA004, 4) {
+		t.Fatalf("listener saw line=%#x mask=%#x", gotLine, gotMask)
+	}
+}

@@ -1,0 +1,272 @@
+package memsys
+
+import (
+	"testing"
+
+	"tusim/internal/config"
+)
+
+// fakeHandler scripts the authorization unit's decisions for tests.
+type fakeHandler struct {
+	action       ProbeAction
+	probed       []uint64
+	filled       []uint64
+	relinquished []uint64
+}
+
+func (f *fakeHandler) HandleProbe(line uint64) ProbeAction {
+	f.probed = append(f.probed, line)
+	return f.action
+}
+func (f *fakeHandler) HandleFill(line uint64)       { f.filled = append(f.filled, line) }
+func (f *fakeHandler) HandleRelinquish(line uint64) { f.relinquished = append(f.relinquished, line) }
+
+func TestUnauthorizedStoreThenFillMerges(t *testing.T) {
+	r := newRig(t, 1, nil)
+	h := &fakeHandler{}
+	r.ps[0].SetHandler(h)
+
+	var seed LineData
+	for i := range seed {
+		seed[i] = 0x10
+	}
+	r.mem.WriteLine(0xB000, &seed)
+
+	// Write 4 bytes without permission: always-hit illusion.
+	if !r.ps[0].StoreUnauthorized(0xB008, []byte{1, 2, 3, 4}) {
+		t.Fatal("unauthorized store failed")
+	}
+	pl := r.ps[0].Lookup(0xB000)
+	if !pl.NotVisible || pl.Ready {
+		t.Fatalf("line flags: notVisible=%v ready=%v", pl.NotVisible, pl.Ready)
+	}
+	if pl.UMask != MaskFor(0xB008, 4) {
+		t.Fatalf("UMask = %#x", pl.UMask)
+	}
+
+	// Request permission; on fill, memory data merges around the mask.
+	var granted bool
+	r.ps[0].RequestWritable(0xB000, false, false, func(ok bool) { granted = ok })
+	r.run(t)
+	if !granted {
+		t.Fatal("permission not granted")
+	}
+	if !pl.Ready || !pl.NotVisible {
+		t.Fatalf("after fill: notVisible=%v ready=%v", pl.NotVisible, pl.Ready)
+	}
+	if len(h.filled) != 1 || h.filled[0] != 0xB000 {
+		t.Fatalf("HandleFill calls = %v", h.filled)
+	}
+	// Merged contents: memory bytes outside the mask, store bytes inside.
+	if pl.L1Data[7] != 0x10 || pl.L1Data[8] != 1 || pl.L1Data[11] != 4 || pl.L1Data[12] != 0x10 {
+		t.Fatalf("merge wrong: %v", pl.L1Data[:16])
+	}
+	// The L2 copy is the unmodified (authorized) version.
+	if pl.L2Data[8] != 0x10 {
+		t.Fatal("L2 must hold the unmodified authorized copy")
+	}
+
+	// Publish and verify the visibility listener fires with the mask.
+	var visMask Mask
+	r.ps[0].OnStoreVisible = func(line uint64, mask Mask, data *LineData) { visMask = mask }
+	r.ps[0].MakeVisible(0xB000)
+	if visMask != MaskFor(0xB008, 4) {
+		t.Fatalf("visibility mask = %#x", visMask)
+	}
+	if pl.NotVisible || pl.State != StateM || !pl.L1Dirty {
+		t.Fatal("MakeVisible left wrong state")
+	}
+}
+
+func TestUnauthorizedStoreCoalescesOnHit(t *testing.T) {
+	r := newRig(t, 1, nil)
+	r.ps[0].SetHandler(&fakeHandler{})
+	r.ps[0].StoreUnauthorized(0xC000, []byte{1})
+	r.ps[0].StoreUnauthorizedHit(0xC001, []byte{2})
+	pl := r.ps[0].Lookup(0xC000)
+	if pl.UMask != 0x3 {
+		t.Fatalf("UMask = %#x, want 0x3", pl.UMask)
+	}
+	if pl.L1Data[0] != 1 || pl.L1Data[1] != 2 {
+		t.Fatal("coalesced data wrong")
+	}
+}
+
+func TestLoadToUnauthorizedLineWaitsForPermission(t *testing.T) {
+	r := newRig(t, 1, nil)
+	r.ps[0].SetHandler(&fakeHandler{})
+	var seed LineData
+	seed[0] = 0x55
+	r.mem.WriteLine(0xD000, &seed)
+
+	r.ps[0].StoreUnauthorized(0xD008, []byte{7})
+	var got []byte
+	r.ps[0].Load(0xD000, 1, func(d []byte) { got = d })
+	r.q.Drain(r.q.Now() + 10)
+	if got != nil {
+		t.Fatal("load to not-ready unauthorized line must wait")
+	}
+	r.ps[0].RequestWritable(0xD000, false, false, nil)
+	r.run(t)
+	if got == nil || got[0] != 0x55 {
+		t.Fatalf("aliased load = %v, want 0x55 after permission", got)
+	}
+}
+
+func TestProbeDelayNacksRequester(t *testing.T) {
+	r := newRig(t, 2, nil)
+	h := &fakeHandler{action: ActionDelay}
+	r.ps[0].SetHandler(h)
+	r.ps[1].SetHandler(&fakeHandler{})
+
+	// Core 0 gets an unauthorized line ready (permission held, not visible).
+	r.ps[0].StoreUnauthorized(0xE000, []byte{9})
+	r.ps[0].RequestWritable(0xE000, false, false, nil)
+	r.run(t)
+
+	// Core 1 wants the line; core 0's authorization unit delays.
+	nacks := 0
+	granted := false
+	var attempt func()
+	attempt = func() {
+		r.ps[1].RequestWritable(0xE000, false, false, func(ok bool) {
+			if ok {
+				granted = true
+				return
+			}
+			nacks++
+			if nacks == 3 {
+				// After a few NACKs core 0 publishes; then retry succeeds.
+				r.ps[0].MakeVisible(0xE000)
+			}
+			if nacks < 10 {
+				r.q.After(50, attempt)
+			}
+		})
+	}
+	attempt()
+	r.run(t)
+	if nacks < 3 {
+		t.Fatalf("nacks = %d, want >= 3", nacks)
+	}
+	if !granted {
+		t.Fatal("request never granted after line became visible")
+	}
+	if len(h.probed) == 0 {
+		t.Fatal("authorization unit never consulted")
+	}
+	// Ownership transferred with the *new* data (line was visible by then).
+	var got []byte
+	r.ps[1].Load(0xE000, 1, func(d []byte) { got = d })
+	r.run(t)
+	if got[0] != 9 {
+		t.Fatalf("transferred data = %v, want visible store value 9", got)
+	}
+}
+
+func TestProbeRelinquishServesStaleData(t *testing.T) {
+	r := newRig(t, 2, nil)
+	h := &fakeHandler{action: ActionRelinquish}
+	r.ps[0].SetHandler(h)
+	r.ps[1].SetHandler(&fakeHandler{})
+
+	var seed LineData
+	seed[0] = 0x33
+	r.mem.WriteLine(0xF000, &seed)
+
+	r.ps[0].StoreUnauthorized(0xF000, []byte{0x99})
+	r.ps[0].RequestWritable(0xF000, false, false, nil)
+	r.run(t)
+	pl := r.ps[0].Lookup(0xF000)
+	if !pl.Ready {
+		t.Fatal("setup: line should be ready")
+	}
+
+	// Core 1 requests: core 0 relinquishes; core 1 must see the OLD data.
+	var got []byte
+	r.ps[1].Load(0xF000, 1, func(d []byte) { got = d })
+	r.run(t)
+	if got == nil || got[0] != 0x33 {
+		t.Fatalf("requester saw %v, want stale 0x33", got)
+	}
+	// Core 0 keeps its unauthorized data but lost permission and ready.
+	if !pl.NotVisible || pl.Ready || pl.State != StateI {
+		t.Fatalf("relinquished line state: notVisible=%v ready=%v state=%v", pl.NotVisible, pl.Ready, pl.State)
+	}
+	if pl.L1Data[0] != 0x99 {
+		t.Fatal("unauthorized data lost on relinquish")
+	}
+	if len(h.relinquished) != 1 || h.relinquished[0] != 0xF000 {
+		t.Fatalf("HandleRelinquish calls = %v", h.relinquished)
+	}
+
+	// Re-acquiring merges the *updated* remote data around the mask.
+	r.mustWritable(t, 1, 0xF000)
+	r.ps[1].StoreVisible(0xF001, []byte{0x44})
+	var granted bool
+	r.ps[0].RequestWritable(0xF000, false, false, func(ok bool) { granted = ok })
+	r.run(t)
+	if !granted {
+		t.Fatal("re-request not granted")
+	}
+	if pl.L1Data[0] != 0x99 || pl.L1Data[1] != 0x44 {
+		t.Fatalf("re-merge wrong: %v (want own 0x99 + remote 0x44)", pl.L1Data[:2])
+	}
+}
+
+func TestNotVisibleLineNotEvictable(t *testing.T) {
+	// Single-way L1: the unauthorized line pins its set; a conflicting
+	// load must not displace it (there is no other copy of that data).
+	r := newRig(t, 1, func(c *config.Config) {
+		c.L1D.SizeBytes = 2 * 64
+		c.L1D.Ways = 1
+	})
+	r.ps[0].SetHandler(&fakeHandler{})
+	if !r.ps[0].StoreUnauthorized(0x0, []byte{1}) {
+		t.Fatal("unauthorized store failed")
+	}
+	var got []byte
+	r.ps[0].Load(0x80, 8, func(d []byte) { got = d }) // same set
+	r.run(t)
+	pl := r.ps[0].Lookup(0x0)
+	if pl == nil || !pl.InL1 || !pl.NotVisible {
+		t.Fatal("not-visible line was evicted")
+	}
+	if got == nil {
+		t.Fatal("conflicting load never completed (it may stay in L2 only)")
+	}
+	// A second unauthorized store to that set must be refused.
+	if r.ps[0].StoreUnauthorized(0x100, []byte{2}) {
+		t.Fatal("unauthorized store succeeded with no free way")
+	}
+}
+
+func TestL1WaysAvailable(t *testing.T) {
+	r := newRig(t, 1, func(c *config.Config) {
+		c.L1D.SizeBytes = 2 * 64 * 2 // 2 sets x 2 ways
+		c.L1D.Ways = 2
+	})
+	r.ps[0].SetHandler(&fakeHandler{})
+	// Lines 0x0, 0x80, 0x100 map to set 0; 0x40 to set 1.
+	if !r.ps[0].L1WaysAvailable([]uint64{0x0, 0x80}) {
+		t.Fatal("2 lines into a 2-way set should fit")
+	}
+	if r.ps[0].L1WaysAvailable([]uint64{0x0, 0x80, 0x100}) {
+		t.Fatal("3 lines cannot fit a 2-way set")
+	}
+	if !r.ps[0].L1WaysAvailable([]uint64{0x0, 0x80, 0x40}) {
+		t.Fatal("split across sets should fit")
+	}
+	// Pin one way with an unauthorized line: only 1 slot left in set 0.
+	r.ps[0].StoreUnauthorized(0x0, []byte{1})
+	if !r.ps[0].L1WaysAvailable([]uint64{0x80}) {
+		t.Fatal("one free way remains")
+	}
+	if r.ps[0].L1WaysAvailable([]uint64{0x80, 0x100}) {
+		t.Fatal("pinned way must reduce availability")
+	}
+	// The resident line itself still counts as available.
+	if !r.ps[0].L1WaysAvailable([]uint64{0x0, 0x80}) {
+		t.Fatal("resident line counts as satisfied")
+	}
+}

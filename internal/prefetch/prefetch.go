@@ -1,0 +1,168 @@
+// Package prefetch implements the two hardware prefetchers the paper
+// models: the baseline L1D stream (stride) prefetcher that every
+// configuration includes (Table I), and the Store Prefetch Burst (SPB)
+// page-granularity write-permission prefetcher used as a comparison
+// point (Cebrián et al., MICRO 2020).
+package prefetch
+
+import "tusim/internal/stats"
+
+// Issuer abstracts the private cache operations prefetchers need.
+type Issuer interface {
+	// PrefetchRead starts a read (GetS) prefetch for a line.
+	PrefetchRead(line uint64) bool
+	// RequestWritable starts a write-permission (GetM) prefetch.
+	RequestWritable(line uint64, prefetch, autoRetry bool, cb func(ok bool)) bool
+	// Writable reports whether a line already holds E/M permission.
+	Writable(line uint64) bool
+}
+
+// Stream is a per-core stride-based stream prefetcher on the L1D
+// demand-miss stream. It tracks a handful of independent streams and,
+// after two misses with a consistent line stride, prefetches degree
+// lines ahead.
+type Stream struct {
+	issuer  Issuer
+	degree  int
+	streams []streamEntry
+	issued  *stats.Counter
+}
+
+type streamEntry struct {
+	lastLine uint64
+	stride   int64
+	conf     int
+	valid    bool
+}
+
+// NewStream builds a stream prefetcher with the given lookahead degree.
+func NewStream(issuer Issuer, degree int, st *stats.Set) *Stream {
+	return &Stream{
+		issuer:  issuer,
+		degree:  degree,
+		streams: make([]streamEntry, 8),
+		issued:  st.Counter("stream_prefetches"),
+	}
+}
+
+// OnMiss observes a demand miss and may issue prefetches.
+func (s *Stream) OnMiss(addr uint64, store bool) {
+	line := addr &^ 63
+	// Find a stream whose predicted continuation matches, else the one
+	// whose last line is closest, else reallocate round-robin.
+	best := -1
+	for i := range s.streams {
+		e := &s.streams[i]
+		if !e.valid {
+			continue
+		}
+		if e.stride != 0 && uint64(int64(e.lastLine)+e.stride) == line {
+			best = i
+			break
+		}
+		if delta := int64(line) - int64(e.lastLine); delta != 0 && delta >= -4*64 && delta <= 4*64 {
+			best = i
+		}
+	}
+	if best < 0 {
+		// Steal the least confident slot.
+		best = 0
+		for i := range s.streams {
+			if !s.streams[i].valid {
+				best = i
+				break
+			}
+			if s.streams[i].conf < s.streams[best].conf {
+				best = i
+			}
+		}
+		s.streams[best] = streamEntry{lastLine: line, valid: true}
+		return
+	}
+	e := &s.streams[best]
+	delta := int64(line) - int64(e.lastLine)
+	if delta == e.stride && delta != 0 {
+		if e.conf < 4 {
+			e.conf++
+		}
+	} else {
+		e.stride = delta
+		e.conf = 1
+	}
+	e.lastLine = line
+	if e.conf >= 2 && e.stride != 0 {
+		for i := 1; i <= s.degree; i++ {
+			target := uint64(int64(line) + e.stride*int64(i))
+			if s.issuer.Writable(target) {
+				continue
+			}
+			if s.issuer.PrefetchRead(target) {
+				s.issued.Inc()
+			}
+		}
+	}
+}
+
+// SPB is the Store Prefetch Burst prefetcher: on detecting a burst of
+// stores filling consecutive cache lines it requests write permission
+// for the entire 4KB page (which can pollute the L1D — the paper's
+// criticism of it emerges from exactly this behaviour).
+type SPB struct {
+	issuer     Issuer
+	threshold  int
+	pageBytes  uint64
+	lastLine   uint64
+	runLen     int
+	prefetched map[uint64]bool
+	issued     *stats.Counter
+	bursts     *stats.Counter
+}
+
+// NewSPB builds the burst prefetcher.
+func NewSPB(issuer Issuer, threshold int, pageBytes int, st *stats.Set) *SPB {
+	return &SPB{
+		issuer:     issuer,
+		threshold:  threshold,
+		pageBytes:  uint64(pageBytes),
+		prefetched: make(map[uint64]bool),
+		issued:     st.Counter("spb_prefetches"),
+		bursts:     st.Counter("spb_bursts"),
+	}
+}
+
+// OnStoreCommit observes every committed store's address.
+func (s *SPB) OnStoreCommit(addr uint64) {
+	line := addr &^ 63
+	switch line {
+	case s.lastLine:
+		// same line: burst continues but run length counts lines
+	case s.lastLine + 64:
+		s.runLen++
+	default:
+		s.runLen = 1
+	}
+	s.lastLine = line
+	if s.runLen >= s.threshold {
+		page := addr &^ (s.pageBytes - 1)
+		if !s.prefetched[page] {
+			s.prefetched[page] = true
+			s.bursts.Inc()
+			// Prefetch from the burst position forward to the page end
+			// (the burst walks upward; lines behind it were covered by
+			// prefetch-at-commit already).
+			for target := line + 64; target < page+s.pageBytes; target += 64 {
+				if s.issuer.Writable(target) {
+					continue
+				}
+				if s.issuer.RequestWritable(target, true, false, nil) {
+					s.issued.Inc()
+				}
+			}
+		}
+		s.runLen = 0
+	}
+	// Forget pages occasionally so re-bursts can re-prefetch.
+	if len(s.prefetched) > 256 {
+		s.prefetched = make(map[uint64]bool)
+	}
+}

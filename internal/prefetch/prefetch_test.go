@@ -1,0 +1,152 @@
+package prefetch
+
+import (
+	"testing"
+
+	"tusim/internal/stats"
+)
+
+// fakeIssuer records prefetch requests.
+type fakeIssuer struct {
+	reads    []uint64
+	writes   []uint64
+	writable map[uint64]bool
+	reject   bool
+}
+
+func (f *fakeIssuer) PrefetchRead(line uint64) bool {
+	if f.reject {
+		return false
+	}
+	f.reads = append(f.reads, line)
+	return true
+}
+
+func (f *fakeIssuer) RequestWritable(line uint64, prefetch, autoRetry bool, cb func(bool)) bool {
+	if f.reject {
+		return false
+	}
+	f.writes = append(f.writes, line)
+	return true
+}
+
+func (f *fakeIssuer) Writable(line uint64) bool { return f.writable[line] }
+
+func TestStreamDetectsAscendingStride(t *testing.T) {
+	fi := &fakeIssuer{writable: map[uint64]bool{}}
+	s := NewStream(fi, 2, stats.NewSet("t"))
+	s.OnMiss(0x1000, false)
+	s.OnMiss(0x1040, false) // stride +64, conf 1
+	if len(fi.reads) != 0 {
+		t.Fatalf("prefetched after one stride observation: %v", fi.reads)
+	}
+	s.OnMiss(0x1080, false) // conf 2 -> prefetch 0x10C0, 0x1100
+	if len(fi.reads) != 2 || fi.reads[0] != 0x10C0 || fi.reads[1] != 0x1100 {
+		t.Fatalf("prefetches = %#v, want [0x10C0 0x1100]", fi.reads)
+	}
+}
+
+func TestStreamDetectsDescendingStride(t *testing.T) {
+	fi := &fakeIssuer{writable: map[uint64]bool{}}
+	s := NewStream(fi, 1, stats.NewSet("t"))
+	s.OnMiss(0x2100, false)
+	s.OnMiss(0x20C0, false)
+	s.OnMiss(0x2080, false)
+	if len(fi.reads) != 1 || fi.reads[0] != 0x2040 {
+		t.Fatalf("prefetches = %#v, want [0x2040]", fi.reads)
+	}
+}
+
+func TestStreamIgnoresRandomMisses(t *testing.T) {
+	fi := &fakeIssuer{writable: map[uint64]bool{}}
+	s := NewStream(fi, 4, stats.NewSet("t"))
+	for _, a := range []uint64{0x10000, 0x94000, 0x3000, 0x771C0, 0x20800} {
+		s.OnMiss(a, false)
+	}
+	if len(fi.reads) != 0 {
+		t.Fatalf("random misses triggered prefetches: %v", fi.reads)
+	}
+}
+
+func TestStreamSkipsWritableLines(t *testing.T) {
+	fi := &fakeIssuer{writable: map[uint64]bool{0x10C0: true}}
+	s := NewStream(fi, 2, stats.NewSet("t"))
+	s.OnMiss(0x1000, false)
+	s.OnMiss(0x1040, false)
+	s.OnMiss(0x1080, false)
+	if len(fi.reads) != 1 || fi.reads[0] != 0x1100 {
+		t.Fatalf("prefetches = %#v, want only 0x1100", fi.reads)
+	}
+}
+
+func TestStreamTracksMultipleStreams(t *testing.T) {
+	fi := &fakeIssuer{writable: map[uint64]bool{}}
+	s := NewStream(fi, 1, stats.NewSet("t"))
+	// Two interleaved ascending streams far apart.
+	s.OnMiss(0x1000, false)
+	s.OnMiss(0x90000, false)
+	s.OnMiss(0x1040, false)
+	s.OnMiss(0x90040, false)
+	s.OnMiss(0x1080, false)
+	s.OnMiss(0x90080, false)
+	want := map[uint64]bool{0x10C0: true, 0x900C0: true}
+	if len(fi.reads) != 2 || !want[fi.reads[0]] || !want[fi.reads[1]] {
+		t.Fatalf("prefetches = %#v, want both stream continuations", fi.reads)
+	}
+}
+
+func TestSPBFullPageOnBurst(t *testing.T) {
+	fi := &fakeIssuer{writable: map[uint64]bool{}}
+	st := stats.NewSet("t")
+	p := NewSPB(fi, 4, 4096, st)
+	for i := 0; i < 4; i++ {
+		p.OnStoreCommit(0x7000 + uint64(i*64))
+	}
+	// Forward-only: from the line after the burst head (0x70C0) to the
+	// page end = 60 lines.
+	if len(fi.writes) != 60 {
+		t.Fatalf("SPB issued %d prefetches, want 60", len(fi.writes))
+	}
+	if fi.writes[0] != 0x7100 {
+		t.Fatalf("first prefetch %#x, want 0x7100 (forward of the burst)", fi.writes[0])
+	}
+	if st.Get("spb_bursts") != 1 {
+		t.Fatalf("bursts = %d", st.Get("spb_bursts"))
+	}
+}
+
+func TestSPBNoBurstNoPrefetch(t *testing.T) {
+	fi := &fakeIssuer{writable: map[uint64]bool{}}
+	p := NewSPB(fi, 4, 4096, stats.NewSet("t"))
+	// Non-consecutive lines never form a burst.
+	for _, a := range []uint64{0x7000, 0x7100, 0x7240, 0x7000, 0x9040} {
+		p.OnStoreCommit(a)
+	}
+	if len(fi.writes) != 0 {
+		t.Fatalf("SPB prefetched without a burst: %d", len(fi.writes))
+	}
+}
+
+func TestSPBSameLineStoresDoNotAdvanceBurst(t *testing.T) {
+	fi := &fakeIssuer{writable: map[uint64]bool{}}
+	p := NewSPB(fi, 4, 4096, stats.NewSet("t"))
+	for i := 0; i < 32; i++ {
+		p.OnStoreCommit(0x8000) // same line repeatedly
+	}
+	if len(fi.writes) != 0 {
+		t.Fatal("repeated same-line stores must not trigger a page burst")
+	}
+}
+
+func TestSPBDoesNotRePrefetchSamePage(t *testing.T) {
+	fi := &fakeIssuer{writable: map[uint64]bool{}}
+	p := NewSPB(fi, 2, 4096, stats.NewSet("t"))
+	for i := 0; i < 8; i++ {
+		p.OnStoreCommit(0xA000 + uint64(i*64))
+	}
+	// Burst fires once at line 0xA040 (threshold 2): prefetch covers
+	// 0xA080..0xAFC0 = 62 lines; the page is not prefetched again.
+	if len(fi.writes) != 62 {
+		t.Fatalf("issued %d, want 62 (page prefetched once)", len(fi.writes))
+	}
+}

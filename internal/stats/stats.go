@@ -1,0 +1,128 @@
+// Package stats collects named counters and distributions from every
+// simulated component. A Set is cheap to update on the hot path (a map
+// lookup amortized away by interned Counter handles) and can be merged
+// and formatted by the experiment harness.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Counter is a monotonically increasing event count. Components hold a
+// *Counter obtained from Set.Counter and bump it directly.
+type Counter struct {
+	name string
+	v    uint64
+}
+
+// Name returns the counter's registered name.
+func (c *Counter) Name() string { return c.name }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v += n }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v++ }
+
+// Set is a registry of counters belonging to one component or system.
+type Set struct {
+	prefix   string
+	counters map[string]*Counter
+	order    []string
+}
+
+// NewSet creates a stats registry. The prefix (e.g. "core0") is
+// prepended to every counter name in formatted output.
+func NewSet(prefix string) *Set {
+	return &Set{prefix: prefix, counters: make(map[string]*Counter)}
+}
+
+// Counter returns the counter with the given name, creating it at zero
+// on first use. The returned handle stays valid for the Set's lifetime.
+func (s *Set) Counter(name string) *Counter {
+	if c, ok := s.counters[name]; ok {
+		return c
+	}
+	c := &Counter{name: name}
+	s.counters[name] = c
+	s.order = append(s.order, name)
+	return c
+}
+
+// Get returns the value of a counter, or zero if it was never created.
+func (s *Set) Get(name string) uint64 {
+	if c, ok := s.counters[name]; ok {
+		return c.v
+	}
+	return 0
+}
+
+// Names returns all registered counter names in creation order.
+func (s *Set) Names() []string {
+	out := make([]string, len(s.order))
+	copy(out, s.order)
+	return out
+}
+
+// Merge adds every counter from other into s (matching by name).
+func (s *Set) Merge(other *Set) {
+	for _, name := range other.order {
+		s.Counter(name).Add(other.counters[name].v)
+	}
+}
+
+// Snapshot captures the current counter values.
+func (s *Set) Snapshot() map[string]uint64 {
+	out := make(map[string]uint64, len(s.counters))
+	for name, c := range s.counters {
+		out[name] = c.v
+	}
+	return out
+}
+
+// Subtract removes a snapshot's values from the counters (used to
+// discard warm-up statistics). Counters created after the snapshot are
+// left unchanged.
+func (s *Set) Subtract(snap map[string]uint64) {
+	for name, v := range snap {
+		if c, ok := s.counters[name]; ok {
+			if c.v >= v {
+				c.v -= v
+			} else {
+				c.v = 0
+			}
+		}
+	}
+}
+
+// Reset zeroes all counters, keeping handles valid.
+func (s *Set) Reset() {
+	for _, c := range s.counters {
+		c.v = 0
+	}
+}
+
+// String formats all counters, one per line, sorted by name.
+func (s *Set) String() string {
+	names := make([]string, len(s.order))
+	copy(names, s.order)
+	sort.Strings(names)
+	var b strings.Builder
+	for _, n := range names {
+		fmt.Fprintf(&b, "%s.%s = %d\n", s.prefix, n, s.counters[n].v)
+	}
+	return b.String()
+}
+
+// Ratio returns a/b as float64, or 0 when b is zero.
+func Ratio(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}

@@ -1,0 +1,105 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounterBasics(t *testing.T) {
+	s := NewSet("core0")
+	c := s.Counter("loads")
+	c.Inc()
+	c.Add(4)
+	if got := s.Get("loads"); got != 5 {
+		t.Fatalf("loads = %d, want 5", got)
+	}
+	if s.Get("missing") != 0 {
+		t.Fatal("missing counter should read 0")
+	}
+	if c.Name() != "loads" {
+		t.Fatalf("Name = %q", c.Name())
+	}
+}
+
+func TestCounterHandleStable(t *testing.T) {
+	s := NewSet("x")
+	a := s.Counter("n")
+	b := s.Counter("n")
+	if a != b {
+		t.Fatal("Counter must intern handles by name")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := NewSet("sys")
+	b := NewSet("core1")
+	a.Counter("stores").Add(10)
+	b.Counter("stores").Add(7)
+	b.Counter("fences").Add(2)
+	a.Merge(b)
+	if a.Get("stores") != 17 || a.Get("fences") != 2 {
+		t.Fatalf("merge wrong: stores=%d fences=%d", a.Get("stores"), a.Get("fences"))
+	}
+}
+
+func TestReset(t *testing.T) {
+	s := NewSet("x")
+	c := s.Counter("n")
+	c.Add(9)
+	s.Reset()
+	if c.Value() != 0 {
+		t.Fatal("Reset did not zero counter")
+	}
+	c.Inc()
+	if s.Get("n") != 1 {
+		t.Fatal("handle invalid after Reset")
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	s := NewSet("c")
+	s.Counter("b").Add(2)
+	s.Counter("a").Add(1)
+	out := s.String()
+	ia, ib := strings.Index(out, "c.a = 1"), strings.Index(out, "c.b = 2")
+	if ia < 0 || ib < 0 || ia > ib {
+		t.Fatalf("String output wrong:\n%s", out)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(1, 0) != 0 {
+		t.Fatal("Ratio with zero denominator must be 0")
+	}
+	if Ratio(3, 4) != 0.75 {
+		t.Fatal("Ratio(3,4) != 0.75")
+	}
+}
+
+func TestMergeCommutesOnValues(t *testing.T) {
+	// Property: merging two sets yields the same totals regardless of order.
+	f := func(xs, ys []uint8) bool {
+		a, b := NewSet("a"), NewSet("b")
+		for i, x := range xs {
+			a.Counter(string(rune('a' + i%5))).Add(uint64(x))
+		}
+		for i, y := range ys {
+			b.Counter(string(rune('a' + i%5))).Add(uint64(y))
+		}
+		m1, m2 := NewSet("m"), NewSet("m")
+		m1.Merge(a)
+		m1.Merge(b)
+		m2.Merge(b)
+		m2.Merge(a)
+		for _, n := range m1.Names() {
+			if m1.Get(n) != m2.Get(n) {
+				return false
+			}
+		}
+		return len(m1.Names()) == len(m2.Names())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

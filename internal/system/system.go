@@ -1,0 +1,250 @@
+// Package system assembles a complete simulated machine: cores,
+// private cache hierarchies, prefetchers, the directory/LLC, DRAM, and
+// the selected store-handling mechanism, all driven by one event queue.
+package system
+
+import (
+	"fmt"
+
+	"tusim/internal/config"
+	"tusim/internal/cpu"
+	"tusim/internal/event"
+	"tusim/internal/isa"
+	"tusim/internal/mech"
+	"tusim/internal/memsys"
+	"tusim/internal/prefetch"
+	"tusim/internal/stats"
+	"tusim/internal/tus"
+)
+
+// Observer receives the architectural event stream (the TSO checker
+// implements this; a nil observer costs nothing).
+type Observer interface {
+	// StoreExecuted fires when a store's data becomes forwardable.
+	StoreExecuted(core int, seq, addr uint64, size uint8, value [8]byte)
+	// StoreCommitted fires when a store commits, with its final data.
+	StoreCommitted(core int, seq, addr uint64, size uint8, value [8]byte)
+	// StoreVisible fires when bytes become globally visible.
+	StoreVisible(core int, cycle uint64, line uint64, mask memsys.Mask, data *memsys.LineData)
+	// LoadBound fires when a load's value binds.
+	LoadBound(core int, cycle uint64, seq, addr uint64, size uint8, value [8]byte)
+}
+
+// System is one simulated machine.
+type System struct {
+	Cfg   *config.Config
+	Q     *event.Queue
+	Mem   *memsys.Memory
+	Dir   *memsys.Directory
+	Cores []*cpu.Core
+	Privs []*memsys.Private
+	Mechs []cpu.DrainMechanism
+
+	SysStats  *stats.Set
+	CoreStats []*stats.Set
+	Cycles    uint64
+	observer  Observer
+	dram      *memsys.DRAM
+
+	// WarmupOps discards statistics until this many micro-ops have
+	// committed machine-wide (the paper warms for 200M instructions
+	// before its 2B-instruction measurement windows). Cycles and all
+	// counters then cover only the post-warmup region.
+	WarmupOps uint64
+	warmCycle uint64
+	warmed    bool
+}
+
+// New builds a machine running one micro-op stream per core.
+// len(streams) must equal cfg.Cores.
+func New(cfg *config.Config, streams []isa.Stream) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(streams) != cfg.Cores {
+		return nil, fmt.Errorf("system: %d streams for %d cores", len(streams), cfg.Cores)
+	}
+	s := &System{
+		Cfg:      cfg,
+		Q:        event.NewQueue(),
+		Mem:      memsys.NewMemory(),
+		SysStats: stats.NewSet("sys"),
+	}
+	s.dram = memsys.NewDRAM(s.Q, cfg.DRAMLatency, cfg.DRAMMaxInFlight)
+	s.Dir = memsys.NewDirectory(cfg, s.Q, s.Mem, s.dram, s.SysStats)
+
+	s.Privs = make([]*memsys.Private, cfg.Cores)
+	s.Cores = make([]*cpu.Core, cfg.Cores)
+	s.Mechs = make([]cpu.DrainMechanism, cfg.Cores)
+	s.CoreStats = make([]*stats.Set, cfg.Cores)
+
+	for i := 0; i < cfg.Cores; i++ {
+		st := stats.NewSet(fmt.Sprintf("core%d", i))
+		s.CoreStats[i] = st
+		priv := memsys.NewPrivate(i, cfg, s.Q, s.Dir, st)
+		s.Privs[i] = priv
+		core := cpu.NewCore(i, cfg, s.Q, priv, streams[i], st)
+		s.Cores[i] = core
+
+		if cfg.StreamPrefetcher {
+			sp := prefetch.NewStream(priv, cfg.StreamPrefetchDegree, st)
+			priv.OnDemandMiss = sp.OnMiss
+		}
+
+		var m cpu.DrainMechanism
+		switch cfg.Mechanism {
+		case config.Baseline:
+			m = mech.NewBase(core, st)
+		case config.TUS:
+			m = tus.New(core, cfg, s.Q, st)
+		case config.SSB:
+			m = mech.NewSSB(core, cfg, s.Q, st)
+		case config.CSB:
+			m = mech.NewCSB(core, cfg, st)
+		case config.SPB:
+			m = mech.NewBase(core, st)
+			spb := prefetch.NewSPB(priv, cfg.SPBBurstThreshold, cfg.SPBPageBytes, st)
+			core.OnStoreCommit = append(core.OnStoreCommit, spb.OnStoreCommit)
+		default:
+			return nil, fmt.Errorf("system: unknown mechanism %v", cfg.Mechanism)
+		}
+		s.Mechs[i] = m
+		core.SetMechanism(m)
+	}
+	s.Dir.Attach(s.Privs)
+	return s, nil
+}
+
+// SetObserver installs an architectural event observer (before Run).
+func (s *System) SetObserver(o Observer) {
+	s.observer = o
+	for i := range s.Cores {
+		i := i
+		core := s.Cores[i]
+		priv := s.Privs[i]
+		core.OnStoreData = func(seq, addr uint64, size uint8, value [8]byte) {
+			o.StoreCommitted(i, seq, addr, size, value)
+		}
+		core.OnStoreExec = func(seq, addr uint64, size uint8, value [8]byte) {
+			o.StoreExecuted(i, seq, addr, size, value)
+		}
+		core.OnLoadValue = func(c int, seq, addr uint64, size uint8, value [8]byte) {
+			o.LoadBound(c, s.Q.Now(), seq, addr, size, value)
+		}
+		priv.OnStoreVisible = func(line uint64, mask memsys.Mask, data *memsys.LineData) {
+			o.StoreVisible(i, s.Q.Now(), line, mask, data)
+		}
+	}
+}
+
+// Run simulates until every core retires its trace and drains. It
+// fails if the watchdog sees no commit progress for a long window
+// (deadlock/livelock detection) or MaxCycles elapses.
+func (s *System) Run() error {
+	const watchdogWindow = 2_000_000
+	lastProgress := s.Q.Now()
+	lastCommitted := uint64(0)
+	for {
+		done := true
+		for _, c := range s.Cores {
+			if !c.Done() {
+				done = false
+				break
+			}
+		}
+		if done {
+			s.Cycles = s.Q.Now() - s.warmCycle
+			s.finalizeStats()
+			return nil
+		}
+		if s.Q.Now() >= s.Cfg.MaxCycles {
+			return fmt.Errorf("system: exceeded MaxCycles=%d", s.Cfg.MaxCycles)
+		}
+		committed := uint64(0)
+		for _, st := range s.CoreStats {
+			committed += st.Get("committed_ops")
+		}
+		if !s.warmed && s.WarmupOps > 0 && committed >= s.WarmupOps {
+			s.warmed = true
+			s.warmCycle = s.Q.Now()
+			s.dram.Accesses = 0
+			s.SysStats.Reset()
+			for _, st := range s.CoreStats {
+				st.Reset()
+			}
+		}
+		if committed != lastCommitted {
+			lastCommitted = committed
+			lastProgress = s.Q.Now()
+		} else if s.Q.Now()-lastProgress > watchdogWindow {
+			return fmt.Errorf("system: no commit progress for %d cycles at cycle %d (deadlock?)", watchdogWindow, s.Q.Now())
+		}
+		s.Q.Advance()
+		for _, c := range s.Cores {
+			c.Tick()
+		}
+	}
+}
+
+// statsFinalizer lets mechanisms export internal counters at run end.
+type statsFinalizer interface{ FinalizeStats() }
+
+func (s *System) finalizeStats() {
+	c := s.SysStats.Counter("dram_accesses")
+	c.Add(s.dram.Accesses - c.Value())
+	for _, m := range s.Mechs {
+		if f, ok := m.(statsFinalizer); ok {
+			f.FinalizeStats()
+		}
+	}
+}
+
+// TotalCommitted sums committed micro-ops over all cores.
+func (s *System) TotalCommitted() uint64 {
+	var n uint64
+	for _, st := range s.CoreStats {
+		n += st.Get("committed_ops")
+	}
+	return n
+}
+
+// StatsSum returns a merged view of system + per-core counters.
+func (s *System) StatsSum() *stats.Set {
+	out := stats.NewSet("total")
+	out.Merge(s.SysStats)
+	for _, st := range s.CoreStats {
+		out.Merge(st)
+	}
+	return out
+}
+
+// ReadCoherent returns the coherent value of a byte after Run: the
+// owner's copy if a core owns the line, else the LLC/memory data.
+// Used by tests to compare against the checker's golden memory.
+func (s *System) ReadCoherent(addr uint64) byte {
+	line := addr &^ 63
+	off := addr & 63
+	for _, p := range s.Privs {
+		pl := p.Lookup(line)
+		if pl == nil {
+			continue
+		}
+		if pl.State == memsys.StateM || pl.State == memsys.StateE {
+			if pl.NotVisible {
+				// Unauthorized bytes are not part of the coherent view;
+				// the authorized copy lives in the private L2.
+				return pl.L2Data[off]
+			}
+			if pl.InL1 {
+				return pl.L1Data[off]
+			}
+			return pl.L2Data[off]
+		}
+	}
+	var d memsys.LineData
+	s.Mem.ReadLine(line, &d)
+	if e := s.Dir.LLCData(line); e != nil {
+		return e[off]
+	}
+	return d[off]
+}

@@ -1,0 +1,190 @@
+package tso
+
+import (
+	"testing"
+
+	"tusim/internal/memsys"
+)
+
+func mkData(pairs map[int]byte) *memsys.LineData {
+	var d memsys.LineData
+	for i, v := range pairs {
+		d[i] = v
+	}
+	return &d
+}
+
+func TestInOrderPublicationClean(t *testing.T) {
+	c := NewChecker(1)
+	c.StoreCommitted(0, 1, 0x1000, 4, [8]byte{1, 2, 3, 4})
+	c.StoreCommitted(0, 2, 0x1040, 4, [8]byte{5, 6, 7, 8})
+	c.StoreVisible(0, 10, 0x1000, memsys.MaskFor(0x1000, 4), mkData(map[int]byte{0: 1, 1: 2, 2: 3, 3: 4}))
+	c.StoreVisible(0, 20, 0x1040, memsys.MaskFor(0x1040, 4), mkData(map[int]byte{0: 5, 1: 6, 2: 7, 3: 8}))
+	c.Finish()
+	if err := c.Err(); err != nil {
+		t.Fatalf("clean run flagged: %v", err)
+	}
+	if c.VisibleByte(0x1001) != 2 || c.VisibleByte(0x1043) != 8 {
+		t.Fatal("golden memory wrong")
+	}
+}
+
+func TestOutOfOrderPublicationFlagged(t *testing.T) {
+	c := NewChecker(1)
+	c.StoreCommitted(0, 1, 0x1000, 4, [8]byte{1})
+	c.StoreCommitted(0, 2, 0x1040, 4, [8]byte{2})
+	// Younger store published first: TSO store->store violation.
+	c.StoreVisible(0, 10, 0x1040, memsys.MaskFor(0x1040, 4), mkData(map[int]byte{0: 2}))
+	c.StoreVisible(0, 20, 0x1000, memsys.MaskFor(0x1000, 4), mkData(map[int]byte{0: 1}))
+	c.Finish()
+	if err := c.Err(); err == nil {
+		t.Fatal("out-of-order publication not flagged")
+	}
+	if c.Violations()[0].Kind != "store-order" {
+		t.Fatalf("kind = %s, want store-order", c.Violations()[0].Kind)
+	}
+}
+
+func TestAtomicGroupSameCycleClean(t *testing.T) {
+	// ABA cycle: A1 B1 A2 published atomically in one cycle.
+	c := NewChecker(1)
+	c.StoreCommitted(0, 1, 0x1000, 1, [8]byte{0xA1})
+	c.StoreCommitted(0, 2, 0x1040, 1, [8]byte{0xB1})
+	c.StoreCommitted(0, 3, 0x1008, 1, [8]byte{0xA2})
+	c.StoreVisible(0, 50, 0x1000, memsys.MaskFor(0x1000, 1)|memsys.MaskFor(0x1008, 1),
+		mkData(map[int]byte{0: 0xA1, 8: 0xA2}))
+	c.StoreVisible(0, 50, 0x1040, memsys.MaskFor(0x1040, 1), mkData(map[int]byte{0: 0xB1}))
+	c.Finish()
+	if err := c.Err(); err != nil {
+		t.Fatalf("atomic group flagged: %v", err)
+	}
+}
+
+func TestNonAtomicCycleFlagged(t *testing.T) {
+	// A1 B1 A2 where A publishes both its stores but B1 publishes in a
+	// LATER cycle: A2 became visible before the older B1 — violation.
+	c := NewChecker(1)
+	c.StoreCommitted(0, 1, 0x1000, 1, [8]byte{0xA1})
+	c.StoreCommitted(0, 2, 0x1040, 1, [8]byte{0xB1})
+	c.StoreCommitted(0, 3, 0x1008, 1, [8]byte{0xA2})
+	c.StoreVisible(0, 50, 0x1000, memsys.MaskFor(0x1000, 1)|memsys.MaskFor(0x1008, 1),
+		mkData(map[int]byte{0: 0xA1, 8: 0xA2}))
+	c.StoreVisible(0, 60, 0x1040, memsys.MaskFor(0x1040, 1), mkData(map[int]byte{0: 0xB1}))
+	c.Finish()
+	if err := c.Err(); err == nil {
+		t.Fatal("non-atomic ABA publication not flagged")
+	}
+}
+
+func TestCoalescedValueMismatchFlagged(t *testing.T) {
+	// Two stores to one byte coalesced into one publication carrying a
+	// value that matches neither program-order outcome.
+	c := NewChecker(1)
+	c.StoreCommitted(0, 1, 0x1000, 1, [8]byte{0x11})
+	c.StoreCommitted(0, 2, 0x1000, 1, [8]byte{0x22})
+	c.StoreVisible(0, 9, 0x1000, memsys.MaskFor(0x1000, 1), mkData(map[int]byte{0: 0x33}))
+	c.Finish()
+	if err := c.Err(); err == nil {
+		t.Fatal("corrupted coalesced value not flagged")
+	}
+}
+
+func TestStaleCoalescedPublicationEventuallyFlagged(t *testing.T) {
+	// A mechanism that coalesces {0x11, 0x22} but publishes the stale
+	// 0x11 looks like a partial drain; the younger store then never
+	// becomes visible, which Finish flags.
+	c := NewChecker(1)
+	c.StoreCommitted(0, 1, 0x1000, 1, [8]byte{0x11})
+	c.StoreCommitted(0, 2, 0x1000, 1, [8]byte{0x22})
+	c.StoreVisible(0, 9, 0x1000, memsys.MaskFor(0x1000, 1), mkData(map[int]byte{0: 0x11}))
+	c.Finish()
+	if err := c.Err(); err == nil {
+		t.Fatal("stale coalesced publication not flagged")
+	}
+}
+
+func TestLoadForwardingLegal(t *testing.T) {
+	c := NewChecker(1)
+	// The store has executed (data forwardable) but not yet committed.
+	c.StoreExecuted(0, 5, 0x2000, 4, [8]byte{9, 9, 9, 9})
+	c.LoadBound(0, 3, 6, 0x2000, 4, [8]byte{9, 9, 9, 9})
+	c.Finish()
+	for _, v := range c.Violations() {
+		if v.Kind == "load-value" {
+			t.Fatalf("legal forward flagged: %v", v)
+		}
+	}
+}
+
+func TestLoadCannotForwardFromYoungerStore(t *testing.T) {
+	c := NewChecker(1)
+	c.StoreExecuted(0, 10, 0x2000, 4, [8]byte{7, 7, 7, 7})
+	c.StoreCommitted(0, 10, 0x2000, 4, [8]byte{7, 7, 7, 7})
+	// Load with seq 8 is OLDER than the store; reading its value means
+	// the load observed the future.
+	c.LoadBound(0, 3, 8, 0x2000, 4, [8]byte{7, 7, 7, 7})
+	found := false
+	for _, v := range c.Violations() {
+		if v.Kind == "load-value" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("load observing a younger store's value not flagged")
+	}
+}
+
+func TestLoadSeesVisibleMemory(t *testing.T) {
+	c := NewChecker(2)
+	c.StoreCommitted(0, 1, 0x3000, 1, [8]byte{0x42})
+	c.StoreVisible(0, 10, 0x3000, memsys.MaskFor(0x3000, 1), mkData(map[int]byte{0: 0x42}))
+	// Another core's load after visibility.
+	c.LoadBound(1, 100, 1, 0x3000, 1, [8]byte{0x42})
+	// And a load of untouched memory must read zero.
+	c.LoadBound(1, 101, 2, 0x9999000, 1, [8]byte{0})
+	c.Finish()
+	if err := c.Err(); err != nil {
+		t.Fatalf("legal loads flagged: %v", err)
+	}
+}
+
+func TestLoadWrongValueFlagged(t *testing.T) {
+	c := NewChecker(2)
+	c.StoreCommitted(0, 1, 0x3000, 1, [8]byte{0x42})
+	c.StoreVisible(0, 10, 0x3000, memsys.MaskFor(0x3000, 1), mkData(map[int]byte{0: 0x42}))
+	c.LoadBound(1, 2000, 1, 0x3000, 1, [8]byte{0x43})
+	if err := c.Err(); err == nil {
+		t.Fatal("wrong load value not flagged")
+	}
+}
+
+func TestLoadWindowToleratesRecentOverwrite(t *testing.T) {
+	c := NewChecker(2)
+	c.StoreCommitted(0, 1, 0x3000, 1, [8]byte{0x10})
+	c.StoreVisible(0, 100, 0x3000, memsys.MaskFor(0x3000, 1), mkData(map[int]byte{0: 0x10}))
+	c.StoreCommitted(0, 2, 0x3000, 1, [8]byte{0x20})
+	c.StoreVisible(0, 1000, 0x3000, memsys.MaskFor(0x3000, 1), mkData(map[int]byte{0: 0x20}))
+	// A load that sampled just before the overwrite binds shortly after:
+	// legal within the window.
+	c.LoadBound(1, 1005, 1, 0x3000, 1, [8]byte{0x10})
+	// But a load binding long after the overwrite must see 0x20.
+	c.LoadBound(1, 5000, 2, 0x3000, 1, [8]byte{0x10})
+	violations := 0
+	for _, v := range c.Violations() {
+		if v.Kind == "load-value" {
+			violations++
+		}
+	}
+	if violations != 1 {
+		t.Fatalf("window check: %d load violations, want exactly 1 (got %v)", violations, c.Violations())
+	}
+}
+
+func TestLivenessFlagged(t *testing.T) {
+	c := NewChecker(1)
+	c.StoreCommitted(0, 1, 0x1000, 4, [8]byte{1})
+	c.Finish()
+	if err := c.Err(); err == nil {
+		t.Fatal("never-visible store not flagged at Finish")
+	}
+}

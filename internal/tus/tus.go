@@ -1,0 +1,563 @@
+// Package tus implements Temporarily Unauthorized Stores, the paper's
+// contribution: committed stores leave the store buffer through the
+// write-combining buffers into the L1D *without* write permission,
+// remaining invisible to coherence until permission arrives; a Write
+// Ordering Queue (WOQ) tracks the x86-TSO order (and the atomic groups
+// created by store cycles) in which lines become visible; and an
+// authorization unit based on a global lexicographical order decides —
+// without speculation or rollback — which core relinquishes lines when
+// external requests hit unauthorized data (Sec. III and IV).
+package tus
+
+import (
+	"fmt"
+	"tusim/internal/config"
+	"tusim/internal/cpu"
+	"tusim/internal/event"
+	"tusim/internal/memsys"
+	"tusim/internal/stats"
+	"tusim/internal/wcb"
+)
+
+// woqEntry mirrors the paper's WOQ record: line location, atomic group
+// id, written-byte tracking (held by the L1D line here), a CanCycle
+// bit, and a Ready bit. We additionally track permission state to
+// drive the lex-gated re-request rule.
+type woqEntry struct {
+	line      uint64
+	group     int
+	canCycle  bool
+	ready     bool
+	hasPerm   bool
+	requested bool
+	// gated marks a line that lost (or was denied) its permission to a
+	// lex-order conflict; it may only re-request under the Sec. III-C
+	// rule (lex-least missing line of the WOQ-head atomic group).
+	// Non-gated retries (MSHR pressure, transient NACKs) re-issue
+	// freely with a backoff.
+	gated   bool
+	retryAt uint64
+}
+
+// flushItem is one line of an atomic group headed for the L1D.
+type flushItem struct {
+	line uint64
+	data memsys.LineData
+	mask memsys.Mask
+}
+
+// TUS is the drain mechanism; it also implements
+// memsys.UnauthorizedHandler (the authorization unit + WOQ side).
+type TUS struct {
+	core *cpu.Core
+	priv *memsys.Private
+	cfg  *config.Config
+	q    *event.Queue
+
+	wcbs    *wcb.Set
+	woq     []*woqEntry
+	byLine  map[uint64]*woqEntry
+	nextGID int
+
+	pending []flushItem   // group awaiting L1D/WOQ admission
+	pendBuf []*wcb.Buffer // WCB buffers backing the pending group (nil for bypass)
+	idle    int
+
+	cDrained, cBlocked     *stats.Counter
+	cVisibleGroups         *stats.Counter
+	cWOQSearch, cWOQPeak   *stats.Counter
+	cCycleMerges           *stats.Counter
+	cLexDelays, cLexRelinq *stats.Counter
+	cGroupLen              *stats.Counter
+	cStoresVisible         *stats.Counter
+	cWCBSearch             *stats.Counter
+}
+
+// tusIdleFlush bounds how long coalesced stores linger in the WCBs
+// when the SB drain is idle.
+const tusIdleFlush = 4
+
+// New builds the TUS mechanism for a core and registers it as the
+// private hierarchy's unauthorized handler.
+func New(core *cpu.Core, cfg *config.Config, q *event.Queue, st *stats.Set) *TUS {
+	t := &TUS{
+		core:           core,
+		priv:           core.Priv(),
+		cfg:            cfg,
+		q:              q,
+		wcbs:           wcb.NewSet(cfg.WCBCount, cfg.LexBits),
+		byLine:         make(map[uint64]*woqEntry),
+		cDrained:       st.Counter("stores_drained"),
+		cBlocked:       st.Counter("drain_blocked_cycles"),
+		cVisibleGroups: st.Counter("tus_visible_groups"),
+		cWOQSearch:     st.Counter("woq_searches"),
+		cWOQPeak:       st.Counter("woq_peak_occupancy"),
+		cCycleMerges:   st.Counter("tus_cycle_merges"),
+		cLexDelays:     st.Counter("tus_lex_delays"),
+		cLexRelinq:     st.Counter("tus_lex_relinquishes"),
+		cGroupLen:      st.Counter("tus_group_lines"),
+		cStoresVisible: st.Counter("tus_lines_made_visible"),
+		cWCBSearch:     st.Counter("wcb_searches"),
+	}
+	t.priv.SetHandler(t)
+	return t
+}
+
+// Name implements cpu.DrainMechanism.
+func (t *TUS) Name() string { return config.TUS.String() }
+
+func (t *TUS) lex(line uint64) uint64 { return wcb.Lex(line, t.cfg.LexBits) }
+
+// ---------- Drain path ----------
+
+// Tick implements cpu.DrainMechanism.
+func (t *TUS) Tick() {
+	t.advanceVisibility()
+	t.reRequest()
+
+	if t.pending != nil {
+		if !t.tryAdmit() {
+			t.cBlocked.Inc()
+			return
+		}
+	}
+
+	// Coalescing decouples the SB drain from the L1D write port: up to
+	// commit-width committed stores enter the WCBs per cycle (the
+	// paper's L1D-bandwidth argument for the WCB path).
+	for n := 0; n < t.cfg.CommitWidth; n++ {
+		e := t.core.SB.Head()
+		if e == nil || !e.Committed {
+			if n == 0 && !t.wcbs.Empty() {
+				t.idle++
+				if t.idle >= tusIdleFlush {
+					t.startFlushOldest()
+				}
+			}
+			return
+		}
+		t.idle = 0
+
+		if !t.cfg.TUSCoalesce {
+			// Ablation: every store is its own single-line atomic group
+			// and pays its own L1D write — at most one per cycle (the
+			// L1D write port coalescing normally relieves).
+			var it flushItem
+			it.line = e.Line()
+			off := e.Addr & 63
+			copy(it.data[off:], e.Data[:e.Size])
+			it.mask = e.Mask()
+			t.pending = []flushItem{it}
+			t.pendBuf = nil
+			if t.tryAdmit() {
+				t.core.SB.Pop()
+				t.cDrained.Inc()
+				return
+			}
+			// Admission failed: un-pend and retry with the same store.
+			t.pending, t.pendBuf = nil, nil
+			t.cBlocked.Inc()
+			return
+		}
+
+		switch t.wcbs.Insert(e.Addr, e.Data[:e.Size]) {
+		case wcb.Inserted:
+			t.core.SB.Pop()
+			t.cDrained.Inc()
+		case wcb.NeedFlush, wcb.LexConflict:
+			t.startFlushOldest()
+			t.cBlocked.Inc()
+			return
+		}
+	}
+}
+
+func (t *TUS) startFlushOldest() {
+	group := t.wcbs.OldestGroup()
+	if group == nil {
+		return
+	}
+	items := make([]flushItem, len(group))
+	for i, b := range group {
+		items[i] = flushItem{line: b.Line, data: b.Data, mask: b.Mask}
+	}
+	t.pending = items
+	t.pendBuf = group
+	t.tryAdmit()
+}
+
+// tryAdmit writes the pending atomic group into the L1D + WOQ if every
+// admission check passes (Fig. 7 left side). All lines go in the same
+// cycle — the group is atomic.
+func (t *TUS) tryAdmit() bool {
+	items := t.pending
+
+	// Classify each line against the current L1D/WOQ state.
+	newEntries := 0
+	cycleHit := false
+	minHitIdx := -1
+	var needWays []uint64
+	for _, it := range items {
+		pl := t.priv.Lookup(it.line)
+		switch {
+		case pl != nil && pl.NotVisible:
+			e := t.byLine[it.line]
+			if e == nil {
+				panic("tus: not-visible line missing from WOQ")
+			}
+			t.cWOQSearch.Inc()
+			if !e.canCycle {
+				return false // cycles disabled while a conflict resolves
+			}
+			// The merge absorbs the hit entry's whole group, whose
+			// oldest member may sit before the hit entry itself.
+			idx := t.firstOfGroup(e.group)
+			if minHitIdx < 0 || idx < minHitIdx {
+				minHitIdx = idx
+			}
+			cycleHit = true
+		default:
+			newEntries++
+			if pl == nil || !pl.InL1 {
+				needWays = append(needWays, it.line)
+			}
+		}
+	}
+
+	if len(t.woq)+newEntries > t.cfg.WOQEntries {
+		return false
+	}
+	if len(needWays) > 0 && !t.priv.L1WaysAvailable(needWays) {
+		return false
+	}
+
+	// Resulting atomic group size (groups are contiguous WOQ runs; a
+	// cycle merge absorbs everything from the hit entry to the tail).
+	mergedLen := newEntries
+	if cycleHit {
+		mergedLen += len(t.woq) - minHitIdx
+	}
+	if mergedLen > t.cfg.MaxAtomicGroup {
+		return false
+	}
+	// No two distinct lines of the final group may share a lex key.
+	if t.lexConflictInMerged(items, minHitIdx, cycleHit) {
+		return false
+	}
+
+	// Commit the group.
+	t.nextGID++
+	gid := t.nextGID
+	for _, it := range items {
+		pl := t.priv.Lookup(it.line)
+		switch {
+		case pl != nil && pl.NotVisible:
+			t.priv.StoreUnauthorizedHitLine(it.line, &it.data, it.mask)
+		case pl != nil && (pl.State == memsys.StateE || pl.State == memsys.StateM):
+			// Authorized hit: L2 keeps the old copy; ready immediately.
+			if !t.priv.StoreOverVisibleLine(it.line, &it.data, it.mask) {
+				panic("tus: StoreOverVisibleLine failed after admission checks")
+			}
+			t.append(&woqEntry{line: it.line, group: gid, canCycle: true, ready: true, hasPerm: true})
+		default:
+			if !t.priv.StoreUnauthorizedLine(it.line, &it.data, it.mask) {
+				panic("tus: StoreUnauthorizedLine failed after admission checks")
+			}
+			e := &woqEntry{line: it.line, group: gid, canCycle: true}
+			t.append(e)
+			t.request(e)
+		}
+	}
+	if cycleHit {
+		// Copy the hit entry's group id over everything younger.
+		t.cCycleMerges.Inc()
+		g := t.woq[minHitIdx].group
+		for i := minHitIdx; i < len(t.woq); i++ {
+			t.woq[i].group = g
+		}
+	}
+	t.cGroupLen.Add(uint64(len(items)))
+
+	if t.pendBuf != nil {
+		t.wcbs.Release(t.pendBuf)
+	}
+	t.pending, t.pendBuf = nil, nil
+	if uint64(len(t.woq)) > t.cWOQPeak.Value() {
+		t.cWOQPeak.Add(uint64(len(t.woq)) - t.cWOQPeak.Value())
+	}
+	t.advanceVisibility()
+	return true
+}
+
+func (t *TUS) lexConflictInMerged(items []flushItem, minHitIdx int, cycleHit bool) bool {
+	seen := map[uint64]uint64{}
+	add := func(line uint64) bool {
+		k := t.lex(line)
+		if prev, ok := seen[k]; ok && prev != line {
+			return true
+		}
+		seen[k] = line
+		return false
+	}
+	for _, it := range items {
+		if add(it.line) {
+			return true
+		}
+	}
+	if cycleHit {
+		for i := minHitIdx; i < len(t.woq); i++ {
+			if add(t.woq[i].line) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (t *TUS) append(e *woqEntry) {
+	t.woq = append(t.woq, e)
+	t.byLine[e.line] = e
+}
+
+func (t *TUS) firstOfGroup(gid int) int {
+	for i, o := range t.woq {
+		if o.group == gid {
+			return i
+		}
+	}
+	panic("tus: group not found in WOQ")
+}
+
+// ---------- Permission requests ----------
+
+func (t *TUS) request(e *woqEntry) {
+	line := e.line
+	e.requested = true
+	ok := t.priv.RequestWritable(line, false, false, func(granted bool) {
+		if granted {
+			return // HandleFill already recorded it
+		}
+		// NACKed: a remote authorization unit delayed us (lex gate) or
+		// the request overflowed a queue. Re-request with a backoff;
+		// mark it gated so a contended line follows the Sec. III-C
+		// re-request rule instead of hammering the holder.
+		if cur := t.byLine[line]; cur != nil {
+			cur.requested = false
+			cur.gated = true
+			cur.retryAt = t.q.Now() + t.cfg.NetLatency
+		}
+	})
+	if !ok {
+		// Could not even start (MSHRs full): plain retry, not a lex gate.
+		e.requested = false
+		e.retryAt = t.q.Now() + 1
+	}
+}
+
+// reRequest re-issues permission requests. Ungated entries (initial
+// request failed to start, e.g. MSHR pressure) retry freely across the
+// whole WOQ. Gated entries — lines lost or denied under the lex order —
+// ask again only when they are the lex-least permission-lacking line of
+// the atomic group at the WOQ head (Sec. III-C), which guarantees the
+// system-wide acquisition order that makes the protocol deadlock-free.
+func (t *TUS) reRequest() {
+	if len(t.woq) == 0 {
+		return
+	}
+	now := t.q.Now()
+	budget := 4 // request-port bandwidth per cycle
+	for _, e := range t.woq {
+		if budget == 0 {
+			return
+		}
+		if e.hasPerm || e.requested || e.gated || now < e.retryAt {
+			continue
+		}
+		t.request(e)
+		budget--
+	}
+	// Gated: only the lex-least missing line of the head group.
+	head := t.woq[0].group
+	var best *woqEntry
+	for _, e := range t.woq {
+		if e.group != head {
+			break
+		}
+		if e.hasPerm || e.requested {
+			continue
+		}
+		if best == nil || t.lex(e.line) < t.lex(best.line) {
+			best = e
+		}
+	}
+	if best != nil && best.gated && now >= best.retryAt {
+		t.request(best)
+	}
+}
+
+// ---------- Visibility ----------
+
+// advanceVisibility publishes ready atomic groups from the WOQ head,
+// in order, atomically per group (Fig. 7 (4)).
+func (t *TUS) advanceVisibility() {
+	for len(t.woq) > 0 {
+		gid := t.woq[0].group
+		n := 0
+		ready := true
+		for _, e := range t.woq {
+			if e.group != gid {
+				break
+			}
+			n++
+			if !e.ready {
+				ready = false
+			}
+		}
+		if !ready {
+			return
+		}
+		for i := 0; i < n; i++ {
+			e := t.woq[i]
+			t.priv.MakeVisible(e.line)
+			delete(t.byLine, e.line)
+			t.cStoresVisible.Inc()
+		}
+		t.woq = t.woq[n:]
+		t.cVisibleGroups.Inc()
+	}
+}
+
+// ---------- memsys.UnauthorizedHandler (authorization unit) ----------
+
+// HandleProbe implements the lex-order deadlock-avoidance decision of
+// Sec. III-C: delay the external request when this core holds
+// permissions for every lex-lesser line among the stores up to (and
+// including) the probed line's atomic group; otherwise relinquish the
+// probed line and every held line above the lex-least missing one,
+// restoring the invariant that held permissions form a lex prefix.
+func (t *TUS) HandleProbe(line uint64) memsys.ProbeAction {
+	t.cWOQSearch.Inc()
+	e := t.byLine[line]
+	if e == nil {
+		// Not tracked (should not happen): delay is always safe for
+		// the prober, which will retry.
+		return memsys.ActionDelay
+	}
+	// Disable new cycles involving this atomic group so the lex order
+	// cannot change under the resolution.
+	end := 0
+	for i, o := range t.woq {
+		if o.group == e.group {
+			o.canCycle = false
+			end = i
+		}
+	}
+
+	probeLex := t.lex(line)
+	violation := false
+	for i := 0; i <= end; i++ {
+		o := t.woq[i]
+		if !o.hasPerm && t.lex(o.line) < probeLex {
+			violation = true
+			break
+		}
+	}
+	if !violation {
+		t.cLexDelays.Inc()
+		return memsys.ActionDelay
+	}
+	// Relinquish the probed line (the memory system serves the stale
+	// authorized copy from the private L2 and transfers ownership
+	// atomically with the probe reply). Other lex-violating lines are
+	// effectively in the paper's "retry" state: each one relinquishes
+	// the moment its own invalidation arrives, so ownership always
+	// changes hands synchronously and the directory never diverges.
+	t.cLexRelinq.Inc()
+	return memsys.ActionRelinquish
+}
+
+// HandleFill implements memsys.UnauthorizedHandler: write permission
+// and data arrived and were combined under the mask.
+func (t *TUS) HandleFill(line uint64) {
+	t.cWOQSearch.Inc()
+	e := t.byLine[line]
+	if e == nil {
+		return
+	}
+	e.hasPerm = true
+	e.ready = true
+	e.requested = false
+	e.gated = false
+	t.advanceVisibility()
+}
+
+// HandleRelinquish implements memsys.UnauthorizedHandler.
+func (t *TUS) HandleRelinquish(line uint64) {
+	e := t.byLine[line]
+	if e == nil {
+		return
+	}
+	e.hasPerm = false
+	e.ready = false
+	e.requested = false
+	e.gated = true
+	e.retryAt = t.q.Now() + t.cfg.NetLatency
+}
+
+// ---------- Load path / fences ----------
+
+// Forward implements cpu.DrainMechanism: loads search the WCBs
+// (Fig. 1 (3)); unauthorized L1D lines alias inside memsys.
+func (t *TUS) Forward(addr uint64, size uint8) (cpu.ForwardResult, [8]byte) {
+	hit, conflict, out := t.wcbs.Forward(addr, size)
+	switch {
+	case hit:
+		return cpu.FwdHit, out
+	case conflict:
+		if t.pending == nil {
+			t.startFlushOldest()
+		}
+		return cpu.FwdConflict, out
+	}
+	return cpu.FwdMiss, out
+}
+
+// Drained implements cpu.DrainMechanism.
+func (t *TUS) Drained() bool {
+	return t.wcbs.Empty() && len(t.woq) == 0 && t.pending == nil
+}
+
+// FlushDone implements cpu.DrainMechanism: a serializing event waits
+// for the WCBs *and* the WOQ to empty (Sec. III-A).
+func (t *TUS) FlushDone() bool {
+	if t.Drained() {
+		return true
+	}
+	if t.pending == nil && !t.wcbs.Empty() {
+		t.startFlushOldest()
+	}
+	return false
+}
+
+// FinalizeStats exports WCB search counts at run end.
+func (t *TUS) FinalizeStats() {
+	c := t.cWCBSearch
+	c.Add(t.wcbs.Searches - c.Value())
+}
+
+// WOQLen reports the current WOQ occupancy (tests, harness).
+func (t *TUS) WOQLen() int { return len(t.woq) }
+
+// DumpWOQ renders the WOQ for debugging.
+func (t *TUS) DumpWOQ() string {
+	s := fmt.Sprintf("woq(len=%d pending=%d wcb=%d):", len(t.woq), len(t.pending), t.wcbs.Len())
+	for i, e := range t.woq {
+		if i > 24 {
+			s += " ..."
+			break
+		}
+		s += fmt.Sprintf(" [%d g%d line=%#x lex=%d perm=%v rdy=%v req=%v cyc=%v]",
+			i, e.group, e.line, t.lex(e.line), e.hasPerm, e.ready, e.requested, e.canCycle)
+	}
+	return s
+}
