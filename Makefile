@@ -1,0 +1,36 @@
+GO ?= go
+
+.PHONY: all build vet test short race chaos litmus figs
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test: build
+	$(GO) test ./...
+
+# short: quick signal; the chaos fuzz matrix and bench soak skip
+# themselves under -short.
+short:
+	$(GO) test -short ./...
+
+# race: the protocol-heavy packages under the race detector.
+race:
+	$(GO) test -short -race ./internal/system/ ./internal/litmus/
+
+# chaos: the seeded chaos-fuzz sweep (litmus fault matrix + bench
+# soak). On failure it writes tus-crash.json; replay it with
+#   $(GO) run ./cmd/tusim -repro tus-crash.json
+CHAOS_SEED ?= 7
+chaos:
+	$(GO) run ./cmd/tusim -chaos-seed $(CHAOS_SEED)
+
+litmus:
+	$(GO) run ./cmd/tusim -litmus -mech TUS
+
+figs:
+	$(GO) run ./cmd/tusbench -quick

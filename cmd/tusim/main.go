@@ -11,17 +11,22 @@
 //	tusim -litmus -mech TUS                  # TSO litmus suite
 //	tusim -bench 502.gcc1 -save-trace /tmp/t # export trace files
 //	tusim -trace /tmp/t.0.tust -mech CSB     # replay a trace file
+//	tusim -chaos-seed 7                      # seeded chaos-fuzz sweep
+//	tusim -repro tus-crash.json              # replay a crash bundle
 package main
 
 import (
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 	"text/tabwriter"
 
+	"tusim/internal/audit"
 	"tusim/internal/config"
 	"tusim/internal/energy"
+	"tusim/internal/harness"
 	"tusim/internal/isa"
 	"tusim/internal/litmus"
 	"tusim/internal/system"
@@ -44,7 +49,27 @@ func main() {
 	saveTrace := flag.String("save-trace", "", "write the generated trace(s) to <path>.<thread>.tust and exit")
 	fromTrace := flag.String("trace", "", "run a saved single-thread trace file instead of a benchmark proxy")
 	runLitmus := flag.Bool("litmus", false, "run the TSO litmus suite under -mech and exit")
+	chaosSeed := flag.Uint64("chaos-seed", 0, "run the seeded chaos-fuzz sweep (litmus matrix + bench soak) and exit")
+	auditEvery := flag.Uint64("audit", 0, "audit machine invariants every N cycles (0 = off)")
+	watchdog := flag.Uint64("watchdog", 0, "no-commit-progress watchdog window in cycles (0 = default)")
+	repro := flag.String("repro", "", "replay a crash repro bundle and exit")
+	crashOut := flag.String("crash-out", "tus-crash.json", "where -chaos-seed writes the repro bundle on failure")
 	flag.Parse()
+
+	if *repro != "" {
+		bundle, err := harness.LoadBundle(*repro)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("replaying %s run %q (%s, fault seed %#x)...\n",
+			bundle.Kind, bundle.Name, bundle.Mechanism, bundle.Faults.Seed)
+		if err := bundle.Replay(); err != nil {
+			reportCrash(err)
+			os.Exit(1)
+		}
+		fmt.Println("repro: run completed clean — failure did NOT reproduce (bundle/binary mismatch?)")
+		return
+	}
 
 	if *list {
 		w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
@@ -56,20 +81,14 @@ func main() {
 		return
 	}
 
-	var m config.Mechanism
-	switch strings.ToLower(*mech) {
-	case "base", "baseline":
-		m = config.Baseline
-	case "tus":
-		m = config.TUS
-	case "ssb":
-		m = config.SSB
-	case "csb":
-		m = config.CSB
-	case "spb":
-		m = config.SPB
-	default:
-		fail(fmt.Errorf("unknown mechanism %q", *mech))
+	m, err := config.ParseMechanism(*mech)
+	if err != nil {
+		fail(err)
+	}
+
+	if *chaosSeed != 0 {
+		runChaos(*chaosSeed, *auditEvery, *crashOut)
+		return
 	}
 
 	if *runLitmus {
@@ -135,6 +154,9 @@ func main() {
 	cfg.WOQEntries = *woq
 	cfg.WCBCount = *wcbs
 	cfg.TUSCoalesce = !*noCoalesce
+	if *watchdog != 0 {
+		cfg.WatchdogWindow = *watchdog
+	}
 
 	sys, err := system.New(cfg, streams)
 	if err != nil {
@@ -147,8 +169,12 @@ func main() {
 		ck = tso.NewChecker(cfg.Cores)
 		sys.SetObserver(ck)
 	}
+	if *auditEvery != 0 {
+		audit.Install(sys, *auditEvery)
+	}
 	if err := sys.Run(); err != nil {
-		fail(err)
+		reportCrash(err)
+		os.Exit(1)
 	}
 	if ck != nil {
 		ck.Finish()
@@ -192,6 +218,52 @@ func main() {
 	if *dumpStats {
 		fmt.Println("\nraw counters:")
 		fmt.Print(st.String())
+	}
+}
+
+// runChaos drives the seeded chaos sweep: the litmus fault matrix
+// first, then a benchmark soak under TUS. On failure it writes the
+// repro bundle and prints the crash report.
+func runChaos(seed, auditEvery uint64, crashOut string) {
+	if auditEvery == 0 {
+		auditEvery = 64
+	}
+	fmt.Printf("chaos sweep: seed %#x, auditing every %d cycles\n", seed, auditEvery)
+	res, err := harness.ChaosLitmus(seed, 3, 8, auditEvery)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("litmus matrix: %d runs", res.Runs)
+	if res.Bundle == nil {
+		fmt.Println(" — all clean (TSO checker + auditor)")
+		bres, err := harness.ChaosBench(seed, 4000, auditEvery)
+		if err != nil {
+			fail(err)
+		}
+		res = bres
+		fmt.Printf("bench soak: %d runs", res.Runs)
+		if res.Bundle == nil {
+			fmt.Println(" — all clean")
+			return
+		}
+	}
+	fmt.Println()
+	if err := res.Bundle.Save(crashOut); err != nil {
+		fail(err)
+	}
+	fmt.Printf("FAILURE — repro bundle written to %s (replay: tusim -repro %s)\n", crashOut, crashOut)
+	reportCrash(res.Err)
+	os.Exit(1)
+}
+
+// reportCrash prints a structured crash report when err carries one.
+func reportCrash(err error) {
+	fmt.Fprintln(os.Stderr, "tusim:", err)
+	var cr *system.CrashReport
+	if errors.As(err, &cr) {
+		if data, jerr := json.MarshalIndent(cr, "", "  "); jerr == nil {
+			fmt.Fprintf(os.Stderr, "crash report:\n%s\n", data)
+		}
 	}
 }
 

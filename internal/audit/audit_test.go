@@ -1,0 +1,65 @@
+package audit
+
+import (
+	"testing"
+
+	"tusim/internal/config"
+	"tusim/internal/isa"
+	"tusim/internal/system"
+	"tusim/internal/workload"
+)
+
+// TestAuditorCleanOnHealthyRuns: the auditor must report nothing on
+// fault-free runs of every mechanism — its checks are designed to have
+// no false positives, including on transient mid-transaction states.
+func TestAuditorCleanOnHealthyRuns(t *testing.T) {
+	b, _ := workload.ByName("canneal")
+	for _, m := range config.Mechanisms {
+		m := m
+		t.Run(m.String(), func(t *testing.T) {
+			cfg := config.Default().WithMechanism(m).WithCores(4)
+			traces := b.Generate(11, 2000)[:4]
+			streams := make([]isa.Stream, 4)
+			for i := range streams {
+				streams[i] = isa.NewSliceStream(traces[i])
+			}
+			sys, err := system.New(cfg, streams)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Audit every cycle: maximum exposure to transient states.
+			Install(sys, 1)
+			if err := sys.Run(); err != nil {
+				t.Fatalf("[%v] auditor flagged a healthy run: %v", m, err)
+			}
+		})
+	}
+}
+
+// TestAuditorCleanUnderContention: heavy same-line contention under TUS
+// exercises the WOQ, lex-order, and relinquish checks on live state.
+func TestAuditorCleanUnderContention(t *testing.T) {
+	const cores = 4
+	cfg := config.Default().WithMechanism(config.TUS).WithCores(cores)
+	streams := make([]isa.Stream, cores)
+	for c := 0; c < cores; c++ {
+		var ops []isa.MicroOp
+		for i := 0; i < 1200; i++ {
+			shared := uint64(1)<<33 + uint64(i%4)*64
+			if i%3 == 0 {
+				ops = append(ops, isa.MicroOp{Kind: isa.Load, Addr: shared, Size: 8})
+			} else {
+				ops = append(ops, isa.MicroOp{Kind: isa.Store, Addr: shared + uint64(c)*8, Size: 8})
+			}
+		}
+		streams[c] = isa.NewSliceStream(ops)
+	}
+	sys, err := system.New(cfg, streams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Install(sys, 2)
+	if err := sys.Run(); err != nil {
+		t.Fatalf("auditor flagged contended TUS run: %v", err)
+	}
+}

@@ -2,7 +2,10 @@
 // Table I of the paper; experiments override individual fields.
 package config
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // Mechanism selects the store-handling policy under evaluation.
 type Mechanism int
@@ -44,6 +47,24 @@ func (m Mechanism) String() string {
 
 // Mechanisms lists every policy in the order the paper plots them.
 var Mechanisms = []Mechanism{Baseline, SSB, CSB, SPB, TUS}
+
+// ParseMechanism maps a (case-insensitive) mechanism name back to its
+// value; the CLI tools and crash-repro bundles use it.
+func ParseMechanism(name string) (Mechanism, error) {
+	switch strings.ToLower(name) {
+	case "base", "baseline":
+		return Baseline, nil
+	case "tus":
+		return TUS, nil
+	case "ssb":
+		return SSB, nil
+	case "csb":
+		return CSB, nil
+	case "spb":
+		return SPB, nil
+	}
+	return Baseline, fmt.Errorf("config: unknown mechanism %q", name)
+}
 
 // CacheConfig describes one cache level.
 type CacheConfig struct {
@@ -123,7 +144,17 @@ type Config struct {
 
 	// MaxCycles aborts runaway simulations.
 	MaxCycles uint64
+
+	// WatchdogWindow is how many cycles the machine may go without a
+	// single committed micro-op before the deadlock/livelock watchdog
+	// trips (system.Run then returns a CrashReport). Zero selects
+	// DefaultWatchdogWindow.
+	WatchdogWindow uint64
 }
+
+// DefaultWatchdogWindow is the no-commit-progress bound used when
+// Config.WatchdogWindow is zero.
+const DefaultWatchdogWindow = 2_000_000
 
 // Default returns the Table I configuration with a 114-entry SB and the
 // baseline mechanism on a single core.
@@ -173,7 +204,8 @@ func Default() *Config {
 		SPBBurstThreshold: 6,
 		SPBPageBytes:      4 << 10,
 
-		MaxCycles: 1 << 34,
+		MaxCycles:      1 << 34,
+		WatchdogWindow: DefaultWatchdogWindow,
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"tusim/internal/config"
 	"tusim/internal/event"
+	"tusim/internal/faults"
 	"tusim/internal/isa"
 	"tusim/internal/memsys"
 	"tusim/internal/stats"
@@ -36,9 +37,20 @@ type robEntry struct {
 	valid    bool
 	issued   bool
 	done     bool
+	replay   bool // bound load snooped by an invalidation; re-bind at commit
 	depCount int
 	waiters  []uint64 // seqs of dependents
 	sbEntry  *SBEntry
+}
+
+// mobLoad is one memory-order-buffer record: a load that bound its
+// value from the memory system (not store forwarding) and has not yet
+// committed. Invalidation snoops check these to enforce TSO
+// load->load ordering (see Core.snoopInvalidate).
+type mobLoad struct {
+	seq  uint64
+	addr uint64
+	size uint8
 }
 
 // seqHeap orders ready ops oldest-first for issue.
@@ -78,6 +90,12 @@ type Core struct {
 	ready        seqHeap
 	blockedLoads []uint64 // loads waiting on conflicts/MSHRs/fences
 	fences       []uint64 // seqs of in-flight fences
+	mob          []mobLoad
+
+	// ReadVisible returns the current globally visible value of a byte
+	// range (wired by system). It is consulted only to re-bind snooped
+	// loads at commit, so it never affects timing.
+	ReadVisible func(addr uint64, size uint8) [8]byte
 
 	frontWidth int
 
@@ -95,7 +113,7 @@ type Core struct {
 	cCycles, cCommitted, cLoads, cStores     *stats.Counter
 	cStallROB, cStallLQ, cStallSB, cSBSearch *stats.Counter
 	cFwdHits, cFwdConflicts, cMechFwd        *stats.Counter
-	cSBBlocked, cFenceStall                  *stats.Counter
+	cSBBlocked, cFenceStall, cSBOverflow     *stats.Counter
 }
 
 // NewCore builds a core over a private cache hierarchy and a micro-op
@@ -132,6 +150,7 @@ func NewCore(id int, cfg *config.Config, q *event.Queue, priv *memsys.Private, s
 	c.cMechFwd = st.Counter("mech_forward_hits")
 	c.cSBBlocked = st.Counter("sb_head_blocked_cycles")
 	c.cFenceStall = st.Counter("fence_stall_cycles")
+	c.cSBOverflow = st.Counter("sb_overflows")
 	if cfg.PrefetchAtCommit {
 		// The commit-time RFO is a 100%-accurate demand hint, naturally
 		// rate-limited by commit width, so it rides the demand path.
@@ -145,6 +164,7 @@ func NewCore(id int, cfg *config.Config, q *event.Queue, priv *memsys.Private, s
 			priv.RequestWritable(addr&^63, prefetchClass, false, nil)
 		})
 	}
+	priv.OnLineLost = c.snoopInvalidate
 	return c
 }
 
@@ -188,7 +208,10 @@ func (c *Core) commit() {
 	for n := 0; n < c.cfg.CommitWidth && c.robCount > 0; n++ {
 		e := c.entry(c.robHead)
 		if !e.valid {
-			panic("cpu: ROB head invalid")
+			// Invariant: the ROB ring always holds a valid entry at its
+			// head while robCount > 0 (dispatch/commit keep them in step).
+			panic(faults.Violationf("cpu", c.ID, 0, "rob-head-valid",
+				"ROB head seq=%d invalid with robCount=%d", c.robHead, c.robCount))
 		}
 		if e.op.Kind == isa.Fence {
 			// Serializing: wait until every OLDER store has drained and
@@ -218,6 +241,7 @@ func (c *Core) commit() {
 			}
 		case isa.Load:
 			c.lqCount--
+			c.retireLoad(e)
 		case isa.Fence:
 			c.popFence(e.seq)
 		}
@@ -387,6 +411,57 @@ func (c *Core) notifyWaiters(e *robEntry) {
 	}
 }
 
+// snoopInvalidate is the MOB snoop (the standard OOO-TSO safeguard):
+// when an invalidating probe arrives for a line, any load that already
+// bound a value from that line while an older load has not yet
+// architecturally performed may have read too early — a remote write
+// the older load will observe is about to supersede the bound value.
+// Such loads are flagged to re-bind at commit. Real hardware squashes
+// and replays; in a trace-driven model load values are observational,
+// so re-binding from the visible memory at commit time is equivalent
+// and costs no timing.
+func (c *Core) snoopInvalidate(line uint64) {
+	for i := range c.mob {
+		m := &c.mob[i]
+		if m.addr&^63 != line && (m.addr+uint64(m.size)-1)&^63 != line {
+			continue
+		}
+		e := c.entry(m.seq)
+		if e.valid && e.seq == m.seq && !e.replay && c.olderLoadPending(m.seq) {
+			e.replay = true
+		}
+	}
+}
+
+// olderLoadPending reports whether any load older than seq has not yet
+// architecturally performed: not bound, or bound but itself flagged to
+// re-bind at commit (its effective read point is its commit cycle).
+func (c *Core) olderLoadPending(seq uint64) bool {
+	for s := c.robHead; s < seq; s++ {
+		e := c.entry(s)
+		if e.valid && e.seq == s && e.op.Kind == isa.Load && (!e.done || e.replay) {
+			return true
+		}
+	}
+	return false
+}
+
+// retireLoad drops the load's MOB record and, when an invalidation
+// snoop flagged it, re-binds its value from the currently visible
+// memory — the load architecturally performs at commit, which restores
+// program order relative to every older load.
+func (c *Core) retireLoad(e *robEntry) {
+	for i := range c.mob {
+		if c.mob[i].seq == e.seq {
+			c.mob = append(c.mob[:i], c.mob[i+1:]...)
+			break
+		}
+	}
+	if e.replay && c.ReadVisible != nil && c.OnLoadValue != nil {
+		c.OnLoadValue(c.ID, e.seq, e.op.Addr, e.op.Size, c.ReadVisible(e.op.Addr, e.op.Size))
+	}
+}
+
 // tryLoad attempts the full load path; false means retry next cycle.
 func (c *Core) tryLoad(e *robEntry) bool {
 	if c.blockedByFence(e.seq) {
@@ -401,7 +476,7 @@ func (c *Core) tryLoad(e *robEntry) bool {
 	switch res {
 	case FwdHit:
 		c.cFwdHits.Inc()
-		c.q.After(c.cfg.ForwardLatency(), func() { c.finishLoad(seq, data) })
+		c.q.After(c.cfg.ForwardLatency(), func() { c.finishLoad(seq, data, false) })
 		return true
 	case FwdConflict:
 		c.cFwdConflicts.Inc()
@@ -414,7 +489,7 @@ func (c *Core) tryLoad(e *robEntry) bool {
 		switch mres {
 		case FwdHit:
 			c.cMechFwd.Inc()
-			c.q.After(c.cfg.ForwardLatency(), func() { c.finishLoad(seq, mdata) })
+			c.q.After(c.cfg.ForwardLatency(), func() { c.finishLoad(seq, mdata, false) })
 			return true
 		case FwdConflict:
 			return false
@@ -425,14 +500,21 @@ func (c *Core) tryLoad(e *robEntry) bool {
 	return c.priv.Load(addr, size, func(b []byte) {
 		var v [8]byte
 		copy(v[:], b)
-		c.finishLoad(seq, v)
+		c.finishLoad(seq, v, true)
 	})
 }
 
-func (c *Core) finishLoad(seq uint64, value [8]byte) {
+// finishLoad binds a load value. fromMem marks values read from the
+// memory system (as opposed to forwarded from the core's own stores,
+// which TSO always permits to be read early): only those enter the MOB
+// and are subject to invalidation snoops.
+func (c *Core) finishLoad(seq uint64, value [8]byte, fromMem bool) {
 	e := c.entry(seq)
 	if !e.valid || e.seq != seq || e.done {
 		return
+	}
+	if fromMem {
+		c.mob = append(c.mob, mobLoad{seq: seq, addr: e.op.Addr, size: e.op.Size})
 	}
 	if c.OnLoadValue != nil {
 		c.OnLoadValue(c.ID, seq, e.op.Addr, e.op.Size, value)
@@ -483,7 +565,10 @@ func (c *Core) dispatch() {
 		if stall != nil {
 			break
 		}
-		c.dispatchOp(*op)
+		if !c.dispatchOp(*op) {
+			stall = c.cStallSB
+			break
+		}
 		c.nextOp = nil
 		dispatched++
 	}
@@ -492,8 +577,19 @@ func (c *Core) dispatch() {
 	}
 }
 
-func (c *Core) dispatchOp(op isa.MicroOp) {
+func (c *Core) dispatchOp(op isa.MicroOp) bool {
 	seq := c.seq
+	var sbe *SBEntry
+	if op.Kind == isa.Store {
+		// Push before touching any other state so an overflow (dispatch
+		// checked Full this cycle, so this means SB accounting drifted)
+		// surfaces as a counted stall rather than a dead process.
+		sbe = c.SB.Push(seq, op.Addr, op.Size)
+		if sbe == nil {
+			c.cSBOverflow.Inc()
+			return false
+		}
+	}
 	c.seq++
 	e := c.entry(seq)
 	*e = robEntry{seq: seq, op: op, valid: true}
@@ -507,7 +603,7 @@ func (c *Core) dispatchOp(op isa.MicroOp) {
 		c.lqCount++
 		c.cLoads.Inc()
 	case isa.Store:
-		e.sbEntry = c.SB.Push(seq, op.Addr, op.Size)
+		e.sbEntry = sbe
 		c.cStores.Inc()
 	case isa.Fence:
 		c.fences = append(c.fences, seq)
@@ -530,4 +626,5 @@ func (c *Core) dispatchOp(op isa.MicroOp) {
 	if e.depCount == 0 {
 		heap.Push(&c.ready, seq)
 	}
+	return true
 }

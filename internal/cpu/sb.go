@@ -34,6 +34,10 @@ type StoreBuffer struct {
 	// minUnexec caches the oldest store whose address is still unknown
 	// (^0 when none), so blocked loads don't rescan the CAM each cycle.
 	minUnexec uint64
+	// Overflows counts Push attempts on a full buffer. Dispatch checks
+	// Full first, so a nonzero count means SB accounting drifted; the
+	// core surfaces it as a counted stall instead of killing the run.
+	Overflows uint64
 }
 
 const noUnexec = ^uint64(0)
@@ -56,10 +60,12 @@ func (sb *StoreBuffer) Full() bool { return sb.count == len(sb.entries) }
 func (sb *StoreBuffer) Empty() bool { return sb.count == 0 }
 
 // Push appends a dispatched store in program order and returns its slot
-// handle. Panics when full (dispatch must check Full first).
+// handle, or nil when the buffer is full (the overflow is counted and
+// the caller stalls the store instead of the process dying).
 func (sb *StoreBuffer) Push(seq, addr uint64, size uint8) *SBEntry {
 	if sb.Full() {
-		panic("cpu: store buffer overflow")
+		sb.Overflows++
+		return nil
 	}
 	idx := (sb.head + sb.count) % len(sb.entries)
 	sb.count++
@@ -100,6 +106,7 @@ func (sb *StoreBuffer) Head() *SBEntry {
 // Pop removes the oldest entry (after it drained to the memory system).
 func (sb *StoreBuffer) Pop() {
 	if sb.count == 0 {
+		// Invariant: mechanisms pop only after Head() returned non-nil.
 		panic("cpu: pop from empty store buffer")
 	}
 	sb.head = (sb.head + 1) % len(sb.entries)

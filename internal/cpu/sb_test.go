@@ -39,15 +39,21 @@ func TestSBPushPop(t *testing.T) {
 	}
 }
 
-func TestSBOverflowPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("push into full SB must panic")
-		}
-	}()
+func TestSBOverflowCounted(t *testing.T) {
 	sb := NewStoreBuffer(1)
-	sb.Push(1, 0, 8)
-	sb.Push(2, 64, 8)
+	if sb.Push(1, 0, 8) == nil {
+		t.Fatal("push into empty SB failed")
+	}
+	if e := sb.Push(2, 64, 8); e != nil {
+		t.Fatalf("push into full SB returned %v, want nil", e)
+	}
+	if sb.Overflows != 1 {
+		t.Fatalf("Overflows = %d, want 1", sb.Overflows)
+	}
+	// The buffer itself is untouched by the rejected push.
+	if sb.Len() != 1 || sb.Head().Seq != 1 {
+		t.Fatal("rejected push corrupted the SB")
+	}
 }
 
 func TestSBForwardHit(t *testing.T) {

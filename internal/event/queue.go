@@ -86,6 +86,23 @@ func (q *Queue) Advance() {
 	q.RunDue()
 }
 
+// Every schedules fn to run every period cycles, starting period
+// cycles from now, until fn returns false. The periodic series rides
+// the ordinary event stream, so it interleaves deterministically with
+// all other events (the invariant auditor uses this cadence).
+func (q *Queue) Every(period uint64, fn func() bool) {
+	if period == 0 {
+		period = 1
+	}
+	var tick Func
+	tick = func() {
+		if fn() {
+			q.After(period, tick)
+		}
+	}
+	q.After(period, tick)
+}
+
 // AdvanceTo moves the clock to the given cycle, running every
 // intervening event in order. It is a no-op if cycle <= Now().
 func (q *Queue) AdvanceTo(cycle uint64) {

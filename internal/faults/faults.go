@@ -1,0 +1,277 @@
+// Package faults provides deterministic, seeded fault injection for
+// the memory system and the TUS machinery, plus the typed protocol
+// error every layer uses to report invariant violations.
+//
+// The paper's central risk is protocol-level: TUS keeps committed
+// stores invisible to coherence, so a bug in the WOQ / lex-order /
+// relinquish machinery silently corrupts TSO or deadlocks the machine.
+// The injector perturbs the system only in ways the protocol must
+// legally tolerate — extra request/probe latency, spurious NACKs,
+// directory busy-bit stalls, MSHR/WCB pressure, and probe-order
+// shuffles — so any TSO-checker or auditor violation under injection
+// is a real protocol bug, never an artifact of the harness.
+//
+// Determinism: the injector owns a private splitmix64 stream advanced
+// only at injection points, which themselves fire in the deterministic
+// event order of the simulation. A given (workload seed, fault seed)
+// pair therefore reproduces a run bit-for-bit, which is what makes
+// crash-to-repro bundles possible. A nil *Injector disables every
+// injection point at zero cost and zero perturbation.
+package faults
+
+import "fmt"
+
+// Sabotage kinds understood by system.InstallFaults. Sabotage
+// deliberately corrupts protocol state (it is NOT a legal
+// perturbation); it exists so tests can prove the auditor, the TSO
+// checker, and the crash-to-repro pipeline actually catch corruption.
+const (
+	// SabotageHideLine flips a not-yet-ready unauthorized L1 line to
+	// visible without publishing it, breaking WOQ<->L1 agreement.
+	SabotageHideLine = "hide-line"
+	// SabotageDropOwner erases the directory's owner pointer for a line
+	// a private hierarchy holds in E/M, breaking the single-writer
+	// agreement between directory and private caches.
+	SabotageDropOwner = "drop-owner"
+)
+
+// Sabotage schedules one deliberate state corruption. The corruption
+// is attempted from Cycle onward, once per cycle, until a candidate
+// line exists on the victim core (deterministic for a given run).
+type Sabotage struct {
+	Cycle uint64 `json:"cycle,omitempty"`
+	Core  int    `json:"core,omitempty"`
+	Kind  string `json:"kind,omitempty"`
+}
+
+// Plan is a serializable fault schedule. All rates are percentages of
+// the corresponding injection-point invocations; a zero Plan injects
+// nothing.
+type Plan struct {
+	// Seed drives the injector's private random stream.
+	Seed uint64 `json:"seed"`
+
+	// ReqExtraPct of directory requests suffer up to ReqExtraMax extra
+	// cycles of latency (slow fills / congested network).
+	ReqExtraPct int    `json:"req_extra_pct,omitempty"`
+	ReqExtraMax uint64 `json:"req_extra_max,omitempty"`
+
+	// NackPct of directory requests (and writebacks) are spuriously
+	// NACKed, exercising every retry and lex-gating path.
+	NackPct int `json:"nack_pct,omitempty"`
+
+	// BusyStallPct of directory transactions hold the line's busy bit
+	// for up to BusyStallMax extra cycles before being serviced,
+	// forcing concurrent requesters into the waiting queue / NACK path.
+	BusyStallPct int    `json:"busy_stall_pct,omitempty"`
+	BusyStallMax uint64 `json:"busy_stall_max,omitempty"`
+
+	// ProbeExtraPct of outbound probes suffer up to ProbeExtraMax extra
+	// cycles of network latency.
+	ProbeExtraPct int    `json:"probe_extra_pct,omitempty"`
+	ProbeExtraMax uint64 `json:"probe_extra_max,omitempty"`
+
+	// MSHRPressurePct of MSHR-availability queries report "full",
+	// forcing the drain/load paths through their retry logic.
+	MSHRPressurePct int `json:"mshr_pressure_pct,omitempty"`
+
+	// WCBFlushPct of TUS drain ticks force an early flush of the oldest
+	// coalescing group (WCB pressure).
+	WCBFlushPct int `json:"wcb_flush_pct,omitempty"`
+
+	// ShuffleProbes randomizes the order probe targets are visited
+	// (legal: probe order between cores is unordered).
+	ShuffleProbes bool `json:"shuffle_probes,omitempty"`
+
+	// SabotageSpec, when Kind is non-empty, deliberately corrupts state
+	// (used by tests to validate the detection pipeline).
+	SabotageSpec Sabotage `json:"sabotage,omitempty"`
+}
+
+// Enabled reports whether the plan perturbs the run at all.
+func (p Plan) Enabled() bool {
+	return p.ReqExtraPct > 0 || p.NackPct > 0 || p.BusyStallPct > 0 ||
+		p.ProbeExtraPct > 0 || p.MSHRPressurePct > 0 || p.WCBFlushPct > 0 ||
+		p.ShuffleProbes || p.SabotageSpec.Kind != ""
+}
+
+// splitmix64 is the PRNG step (public-domain constants).
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	z := x
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// MixSeed folds parts into one seed (used to derive per-cell seeds in
+// the chaos matrix without correlation between cells).
+func MixSeed(parts ...uint64) uint64 {
+	s := uint64(0x1234_5678_9ABC_DEF0)
+	for _, p := range parts {
+		s = splitmix64(s ^ p)
+	}
+	return s
+}
+
+// Schedule derives a moderate fault plan from a seed. Every rate is
+// bounded so the machine always makes eventual progress; the schedule
+// varies which subsystems are stressed so a sweep of seeds covers
+// NACK storms, latency spikes, busy stalls, and queue pressure.
+func Schedule(seed uint64) Plan {
+	s := splitmix64(seed)
+	roll := func(lo, hi int) int {
+		s = splitmix64(s)
+		return lo + int(s%uint64(hi-lo+1))
+	}
+	p := Plan{
+		Seed:          seed,
+		ReqExtraPct:   roll(5, 30),
+		ReqExtraMax:   uint64(roll(10, 200)),
+		NackPct:       roll(0, 15),
+		BusyStallPct:  roll(0, 10),
+		BusyStallMax:  uint64(roll(5, 80)),
+		ProbeExtraPct: roll(0, 20),
+		ProbeExtraMax: uint64(roll(5, 60)),
+	}
+	p.MSHRPressurePct = roll(0, 20)
+	p.WCBFlushPct = roll(0, 10)
+	p.ShuffleProbes = roll(0, 1) == 1
+	return p
+}
+
+// Injector is the runtime form of a Plan. All methods are safe on a
+// nil receiver (returning the zero perturbation), so call sites need
+// no nil checks of their own.
+type Injector struct {
+	plan  Plan
+	state uint64
+	// Injected counts fault decisions that actually perturbed the run.
+	Injected uint64
+}
+
+// NewInjector builds an injector for the plan.
+func NewInjector(p Plan) *Injector {
+	return &Injector{plan: p, state: splitmix64(p.Seed ^ 0xC0FFEE)}
+}
+
+// Plan returns the plan the injector was built from.
+func (in *Injector) Plan() Plan {
+	if in == nil {
+		return Plan{}
+	}
+	return in.plan
+}
+
+func (in *Injector) next() uint64 {
+	in.state = splitmix64(in.state)
+	return in.state
+}
+
+// hit rolls a percentage; it consumes randomness only when pct > 0 so
+// plans that disable a mechanism stay stream-compatible with plans
+// that never mention it.
+func (in *Injector) hit(pct int) bool {
+	if in == nil || pct <= 0 {
+		return false
+	}
+	if in.next()%100 < uint64(pct) {
+		in.Injected++
+		return true
+	}
+	return false
+}
+
+// amount returns a value in [1, max] (1 when max is 0).
+func (in *Injector) amount(max uint64) uint64 {
+	if max <= 1 {
+		return 1
+	}
+	return 1 + in.next()%max
+}
+
+// ReqExtra returns extra latency for one directory request, usually 0.
+func (in *Injector) ReqExtra() uint64 {
+	if in == nil || !in.hit(in.plan.ReqExtraPct) {
+		return 0
+	}
+	return in.amount(in.plan.ReqExtraMax)
+}
+
+// SpuriousNack reports whether to NACK this request outright.
+func (in *Injector) SpuriousNack() bool { return in != nil && in.hit(in.plan.NackPct) }
+
+// BusyStall returns extra cycles to hold a line busy before servicing.
+func (in *Injector) BusyStall() uint64 {
+	if in == nil || !in.hit(in.plan.BusyStallPct) {
+		return 0
+	}
+	return in.amount(in.plan.BusyStallMax)
+}
+
+// ProbeExtra returns extra latency for one outbound probe, usually 0.
+func (in *Injector) ProbeExtra() uint64 {
+	if in == nil || !in.hit(in.plan.ProbeExtraPct) {
+		return 0
+	}
+	return in.amount(in.plan.ProbeExtraMax)
+}
+
+// MSHRPressure reports whether to pretend the MSHR pool is full.
+func (in *Injector) MSHRPressure() bool { return in != nil && in.hit(in.plan.MSHRPressurePct) }
+
+// WCBFlush reports whether to force an early WCB group flush.
+func (in *Injector) WCBFlush() bool { return in != nil && in.hit(in.plan.WCBFlushPct) }
+
+// ShuffleTargets applies a random permutation to n probe targets via
+// swap (Fisher-Yates); a no-op unless the plan enables shuffling.
+func (in *Injector) ShuffleTargets(n int, swap func(i, j int)) {
+	if in == nil || !in.plan.ShuffleProbes || n < 2 {
+		return
+	}
+	for i := n - 1; i > 0; i-- {
+		j := int(in.next() % uint64(i+1))
+		if j != i {
+			swap(i, j)
+		}
+	}
+}
+
+// ProtocolError is the structured payload carried by every invariant
+// violation: protocol code panics with one (recovered by system.Run
+// into a CrashReport) and the auditor returns them as errors. It keeps
+// enough context — component, core, line, invariant name, and a state
+// dump — to debug a violation without rerunning under a debugger.
+type ProtocolError struct {
+	Component string `json:"component"` // "memsys", "tus", "cpu", "audit"
+	Core      int    `json:"core"`      // -1 when not core-specific
+	Line      uint64 `json:"line"`      // 0 when not line-specific
+	Invariant string `json:"invariant"` // short invariant identifier
+	Detail    string `json:"detail"`    // human-readable context + state dump
+}
+
+// Error implements error.
+func (e *ProtocolError) Error() string {
+	s := fmt.Sprintf("%s: invariant %q violated", e.Component, e.Invariant)
+	if e.Core >= 0 {
+		s += fmt.Sprintf(" (core %d)", e.Core)
+	}
+	if e.Line != 0 {
+		s += fmt.Sprintf(" (line %#x)", e.Line)
+	}
+	if e.Detail != "" {
+		s += ": " + e.Detail
+	}
+	return s
+}
+
+// Violationf builds a ProtocolError with a formatted detail message.
+func Violationf(component string, core int, line uint64, invariant, format string, args ...any) *ProtocolError {
+	return &ProtocolError{
+		Component: component,
+		Core:      core,
+		Line:      line,
+		Invariant: invariant,
+		Detail:    fmt.Sprintf(format, args...),
+	}
+}

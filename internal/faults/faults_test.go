@@ -1,0 +1,109 @@
+package faults
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestInjectorDeterminism: two injectors built from the same plan must
+// produce identical decision streams — the property crash-to-repro
+// bundles rely on.
+func TestInjectorDeterminism(t *testing.T) {
+	plan := Schedule(42)
+	a, b := NewInjector(plan), NewInjector(plan)
+	for i := 0; i < 10_000; i++ {
+		if a.ReqExtra() != b.ReqExtra() || a.SpuriousNack() != b.SpuriousNack() ||
+			a.BusyStall() != b.BusyStall() || a.ProbeExtra() != b.ProbeExtra() ||
+			a.MSHRPressure() != b.MSHRPressure() || a.WCBFlush() != b.WCBFlush() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+	if a.Injected != b.Injected {
+		t.Fatalf("injection counts diverged: %d vs %d", a.Injected, b.Injected)
+	}
+	if a.Injected == 0 {
+		t.Fatal("schedule injected nothing in 10k decisions")
+	}
+}
+
+// TestNilInjectorSafe: every injection point must be a zero-cost no-op
+// on a nil injector (fault-free runs share the code path).
+func TestNilInjectorSafe(t *testing.T) {
+	var in *Injector
+	if in.ReqExtra() != 0 || in.SpuriousNack() || in.BusyStall() != 0 ||
+		in.ProbeExtra() != 0 || in.MSHRPressure() || in.WCBFlush() {
+		t.Fatal("nil injector perturbed something")
+	}
+	in.ShuffleTargets(5, func(i, j int) { t.Fatal("nil injector shuffled") })
+	if in.Plan().Enabled() {
+		t.Fatal("nil injector reports an enabled plan")
+	}
+}
+
+// TestScheduleBounds: derived plans must stay inside the documented
+// rate bounds so the machine always makes eventual progress.
+func TestScheduleBounds(t *testing.T) {
+	for seed := uint64(0); seed < 200; seed++ {
+		p := Schedule(seed)
+		if p.ReqExtraPct < 5 || p.ReqExtraPct > 30 || p.NackPct > 15 ||
+			p.BusyStallPct > 10 || p.ProbeExtraPct > 20 ||
+			p.MSHRPressurePct > 20 || p.WCBFlushPct > 10 {
+			t.Fatalf("seed %d: plan out of bounds: %+v", seed, p)
+		}
+		if !p.Enabled() {
+			t.Fatalf("seed %d: schedule produced a disabled plan", seed)
+		}
+	}
+}
+
+// TestMixSeedSpread: nearby matrix coordinates must not produce
+// correlated seeds (adjacent cells would otherwise share schedules).
+func TestMixSeedSpread(t *testing.T) {
+	seen := map[uint64]bool{}
+	for a := uint64(0); a < 8; a++ {
+		for b := uint64(0); b < 8; b++ {
+			s := MixSeed(7, a, b)
+			if seen[s] {
+				t.Fatalf("MixSeed collision at (%d,%d)", a, b)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+// TestPlanRoundTrip: plans must survive JSON (the repro bundle format).
+func TestPlanRoundTrip(t *testing.T) {
+	p := Schedule(99)
+	p.SabotageSpec = Sabotage{Cycle: 123, Core: 2, Kind: SabotageHideLine}
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var q Plan
+	if err := json.Unmarshal(data, &q); err != nil {
+		t.Fatal(err)
+	}
+	if q != p {
+		t.Fatalf("round trip changed the plan:\n  in:  %+v\n  out: %+v", p, q)
+	}
+}
+
+// TestProtocolErrorMessage: the structured error must carry its context
+// into the message.
+func TestProtocolErrorMessage(t *testing.T) {
+	e := Violationf("memsys", 3, 0x1240, "notvisible-in-l1", "state=%s", "M")
+	for _, want := range []string{"memsys", "notvisible-in-l1", "core 3", "0x1240", "state=M"} {
+		if !contains(e.Error(), want) {
+			t.Fatalf("error %q missing %q", e.Error(), want)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,232 @@
+package harness
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+
+	"tusim/internal/audit"
+	"tusim/internal/config"
+	"tusim/internal/faults"
+	"tusim/internal/litmus"
+	"tusim/internal/system"
+	"tusim/internal/tso"
+	"tusim/internal/workload"
+)
+
+// ChaosPatterns names the litmus tests the chaos driver exercises: the
+// store-buffering, message-passing, and atomic-group patterns are the
+// ones whose TSO guarantees depend on the WOQ / lex-order machinery.
+var ChaosPatterns = []string{"SB", "MP", "ATOM"}
+
+// ReproBundle is everything needed to deterministically replay one
+// crashed (or suspect) run: the workload identity, the fault plan, and
+// the attached crash diagnosis. Bundles serialize to JSON and replay
+// via Replay (the `tusim -repro` path).
+type ReproBundle struct {
+	// Kind selects the replay procedure: "litmus" or "bench".
+	Kind string `json:"kind"`
+	// Name is the litmus test or benchmark name.
+	Name      string `json:"name"`
+	Mechanism string `json:"mechanism"`
+	// Skew is the litmus start-offset index.
+	Skew int `json:"skew,omitempty"`
+	// Seed/Ops size a bench replay (unused for litmus).
+	Seed int64 `json:"seed,omitempty"`
+	Ops  int   `json:"ops,omitempty"`
+	// SB is the bench store-buffer size (0 = config default).
+	SB         int    `json:"sb,omitempty"`
+	AuditEvery uint64 `json:"audit_every,omitempty"`
+	Watchdog   uint64 `json:"watchdog,omitempty"`
+	// Faults is the injected schedule (includes its seed).
+	Faults faults.Plan `json:"faults"`
+	// Report is the diagnosis from the crashing run (informational;
+	// replay regenerates it).
+	Report *system.CrashReport `json:"report,omitempty"`
+}
+
+// Save writes the bundle as indented JSON.
+func (b *ReproBundle) Save(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadBundle reads a bundle written by Save.
+func LoadBundle(path string) (*ReproBundle, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b ReproBundle
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("harness: bad repro bundle %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// Replay re-executes the bundled run and returns the error it
+// reproduces (nil means the run came out clean — the bug did not
+// replay, which for a deterministic simulator indicates the bundle and
+// binary are out of sync).
+func (b *ReproBundle) Replay() error {
+	m, err := config.ParseMechanism(b.Mechanism)
+	if err != nil {
+		return err
+	}
+	switch b.Kind {
+	case "litmus":
+		var test *litmus.Test
+		for _, t := range litmus.Tests() {
+			if t.Name == b.Name {
+				t := t
+				test = &t
+				break
+			}
+		}
+		if test == nil {
+			return fmt.Errorf("harness: unknown litmus test %q", b.Name)
+		}
+		_, err := litmus.RunOne(*test, m, b.Skew, litmus.Opts{
+			Faults:     &b.Faults,
+			AuditEvery: b.AuditEvery,
+			Watchdog:   b.Watchdog,
+		})
+		return err
+	case "bench":
+		bench, ok := workload.ByName(b.Name)
+		if !ok {
+			return fmt.Errorf("harness: unknown benchmark %q", b.Name)
+		}
+		_, err := RunChaosBench(bench, m, b.Seed, b.Ops, b.SB, b.Faults, b.AuditEvery, b.Watchdog)
+		return err
+	}
+	return fmt.Errorf("harness: unknown bundle kind %q", b.Kind)
+}
+
+// RunChaosBench runs one benchmark under fault injection with the TSO
+// checker and invariant auditor attached, returning the final cycle
+// count. Any returned error may be a *system.CrashReport.
+func RunChaosBench(b workload.Benchmark, m config.Mechanism, seed int64, ops, sb int,
+	plan faults.Plan, auditEvery, watchdog uint64) (uint64, error) {
+	cfg := config.Default().WithMechanism(m).WithCores(b.Threads)
+	if sb > 0 {
+		cfg = cfg.WithSB(sb)
+	}
+	if watchdog != 0 {
+		cfg.WatchdogWindow = watchdog
+	}
+	sys, err := system.New(cfg, b.Streams(seed, ops))
+	if err != nil {
+		return 0, err
+	}
+	ck := tso.NewChecker(cfg.Cores)
+	sys.SetObserver(ck)
+	sys.InstallFaults(faults.NewInjector(plan))
+	if auditEvery != 0 {
+		audit.Install(sys, auditEvery)
+	}
+	if err := sys.Run(); err != nil {
+		return 0, err
+	}
+	ck.Finish()
+	if err := ck.Err(); err != nil {
+		return 0, err
+	}
+	return sys.Cycles, nil
+}
+
+// ChaosResult summarizes a chaos sweep.
+type ChaosResult struct {
+	Runs     int
+	Injected bool
+	// Bundle is non-nil when a run crashed or violated TSO; it replays
+	// the failing cell.
+	Bundle *ReproBundle
+	// Err is the failure the bundle reproduces.
+	Err error
+}
+
+// ChaosLitmus sweeps the litmus chaos matrix: every mechanism ×
+// ChaosPatterns × schedules derived fault plans × skews start offsets,
+// each under the TSO checker and the invariant auditor. It stops at
+// the first failure with a repro bundle; a clean sweep returns
+// Bundle == nil.
+func ChaosLitmus(seed uint64, schedules, skews int, auditEvery uint64) (ChaosResult, error) {
+	res := ChaosResult{Injected: true}
+	tests := map[string]litmus.Test{}
+	for _, t := range litmus.Tests() {
+		tests[t.Name] = t
+	}
+	for mi, m := range config.Mechanisms {
+		for pi, name := range ChaosPatterns {
+			test, ok := tests[name]
+			if !ok {
+				return res, fmt.Errorf("harness: unknown chaos pattern %q", name)
+			}
+			for si := 0; si < schedules; si++ {
+				plan := faults.Schedule(faults.MixSeed(seed, uint64(mi), uint64(pi), uint64(si)))
+				for skew := 0; skew < skews; skew++ {
+					obs, err := litmus.RunOne(test, m, skew, litmus.Opts{
+						Faults:     &plan,
+						AuditEvery: auditEvery,
+					})
+					res.Runs++
+					if err == nil && test.Forbidden != nil && test.Forbidden(obs) {
+						err = fmt.Errorf("harness: TSO-forbidden outcome %v in %s/%v skew %d under faults",
+							obs, test.Name, m, skew)
+					}
+					if err != nil {
+						res.Err = err
+						res.Bundle = &ReproBundle{
+							Kind:       "litmus",
+							Name:       test.Name,
+							Mechanism:  m.String(),
+							Skew:       skew,
+							AuditEvery: auditEvery,
+							Faults:     plan,
+						}
+						var cr *system.CrashReport
+						if errors.As(err, &cr) {
+							res.Bundle.Report = cr
+						}
+						return res, nil
+					}
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// ChaosBench runs each SB-bound benchmark once under TUS with a
+// seed-derived fault plan (the deeper soak behind `tusim -chaos-seed`).
+func ChaosBench(seed uint64, ops int, auditEvery uint64) (ChaosResult, error) {
+	res := ChaosResult{Injected: true}
+	for bi, b := range workload.SBBound() {
+		plan := faults.Schedule(faults.MixSeed(seed, 0xBE9C4, uint64(bi)))
+		_, err := RunChaosBench(b, config.TUS, int64(seed), ops, 0, plan, auditEvery, 0)
+		res.Runs++
+		if err != nil {
+			res.Err = err
+			res.Bundle = &ReproBundle{
+				Kind:       "bench",
+				Name:       b.Name,
+				Mechanism:  config.TUS.String(),
+				Seed:       int64(seed),
+				Ops:        ops,
+				AuditEvery: auditEvery,
+				Faults:     plan,
+			}
+			var cr *system.CrashReport
+			if errors.As(err, &cr) {
+				res.Bundle.Report = cr
+			}
+			return res, nil
+		}
+	}
+	return res, nil
+}

@@ -22,8 +22,10 @@ package litmus
 import (
 	"fmt"
 
+	"tusim/internal/audit"
 	"tusim/internal/config"
 	"tusim/internal/cpu"
+	"tusim/internal/faults"
 	"tusim/internal/isa"
 	"tusim/internal/system"
 	"tusim/internal/tso"
@@ -163,12 +165,28 @@ type Result struct {
 	Outcomes map[string]int
 }
 
+// Opts tunes a litmus run beyond the plain configuration.
+type Opts struct {
+	// Faults, when non-nil, installs seeded fault injection.
+	Faults *faults.Plan
+	// AuditEvery, when nonzero, attaches the invariant auditor at the
+	// given cadence (cycles).
+	AuditEvery uint64
+	// Watchdog, when nonzero, overrides the no-progress window.
+	Watchdog uint64
+}
+
 // Run executes a litmus test under a mechanism across `skews`
 // different relative start offsets and returns the outcome census.
 func Run(test Test, m config.Mechanism, skews int) (Result, error) {
+	return RunOpts(test, m, skews, Opts{})
+}
+
+// RunOpts is Run with chaos options applied to every skew.
+func RunOpts(test Test, m config.Mechanism, skews int, o Opts) (Result, error) {
 	res := Result{Test: test.Name, Mech: m, Outcomes: map[string]int{}}
 	for skew := 0; skew < skews; skew++ {
-		obs, err := runOnce(test, m, skew)
+		obs, err := RunOne(test, m, skew, o)
 		if err != nil {
 			return res, err
 		}
@@ -185,13 +203,18 @@ func Run(test Test, m config.Mechanism, skews int) (Result, error) {
 	return res, nil
 }
 
-// runOnce executes the test with per-thread start skews and classifies
-// each observed load value: 0 = initial memory, k = the k-th store (in
-// program order) to that address anywhere in the test.
-func runOnce(test Test, m config.Mechanism, skew int) ([]uint64, error) {
+// RunOne executes the test once with per-thread start skews and
+// classifies each observed load value: 0 = initial memory, k = the
+// k-th store (in program order) to that address anywhere in the test.
+// The TSO checker is always attached; o adds fault injection and the
+// invariant auditor. A returned error may be a *system.CrashReport.
+func RunOne(test Test, m config.Mechanism, skew int, o Opts) ([]uint64, error) {
 	cores := len(test.Threads)
 	cfg := config.Default().WithMechanism(m).WithCores(cores)
 	cfg.StreamPrefetcher = false
+	if o.Watchdog != 0 {
+		cfg.WatchdogWindow = o.Watchdog
+	}
 
 	type obsKey struct{ core, loadIdx int }
 	streams := make([]isa.Stream, cores)
@@ -227,6 +250,12 @@ func runOnce(test Test, m config.Mechanism, skew int) ([]uint64, error) {
 	}
 	ck := tso.NewChecker(cores)
 	sys.SetObserver(ck)
+	if o.Faults != nil {
+		sys.InstallFaults(faults.NewInjector(*o.Faults))
+	}
+	if o.AuditEvery != 0 {
+		audit.Install(sys, o.AuditEvery)
+	}
 
 	// Capture load values keyed by (core, seq), preserving the
 	// checker's observer hook.

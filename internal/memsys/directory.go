@@ -2,9 +2,11 @@ package memsys
 
 import (
 	"fmt"
+	"sort"
 
 	"tusim/internal/config"
 	"tusim/internal/event"
+	"tusim/internal/faults"
 	"tusim/internal/stats"
 )
 
@@ -29,6 +31,11 @@ type Directory struct {
 	netLat uint64 // one-way probe latency
 
 	lruTick uint64
+
+	faults *faults.Injector
+	// Fault counters exist only when an injector is installed, keeping
+	// fault-free stat sets byte-identical to pre-chaos builds.
+	cFaultNack, cFaultStall *stats.Counter
 
 	cAccess, cNack, cProbes, cRecallFail *stats.Counter
 	cEvict, cOverflow                    *stats.Counter
@@ -95,6 +102,15 @@ func NewDirectory(cfg *config.Config, q *event.Queue, mem *Memory, dram *DRAM, s
 // Attach registers the private hierarchies (called once at wiring time).
 func (d *Directory) Attach(ps []*Private) { d.privates = ps }
 
+// SetFaults installs a fault injector (nil disables injection).
+func (d *Directory) SetFaults(in *faults.Injector) {
+	d.faults = in
+	if in != nil {
+		d.cFaultNack = d.st.Counter("fault_nacks")
+		d.cFaultStall = d.st.Counter("fault_stalls")
+	}
+}
+
 func (d *Directory) set(line uint64) uint64 { return (line >> 6) % uint64(d.cfg.L3.Sets()) }
 
 // entry returns (allocating if needed) the directory entry for line.
@@ -152,7 +168,7 @@ func removeDir(s []*dirEntry, x *dirEntry) []*dirEntry {
 // a NACK (busy line or TUS delay).
 func (d *Directory) Request(src int, line uint64, wantM, lowLane bool, cb func(ok bool, data *LineData, excl bool)) {
 	line &= LineMask
-	d.q.After(d.reqLat, func() { d.handle(src, line, wantM, lowLane, cb) })
+	d.q.After(d.reqLat+d.faults.ReqExtra(), func() { d.handle(src, line, wantM, lowLane, cb) })
 }
 
 // DebugLine, when nonzero, traces every transaction on that line.
@@ -167,6 +183,14 @@ func (d *Directory) handle(src int, line uint64, wantM, lowLane bool, cb func(ok
 		}
 		fmt.Printf("[%d] handle src=%d wantM=%v owner=%d busy=%v\n", d.q.Now(), src, wantM, o, b)
 	}
+	if d.faults.SpuriousNack() {
+		// A NACK is a legal response to any request (busy line, TUS
+		// delay), so requesters must already cope with it at any time.
+		d.cFaultNack.Inc()
+		d.cNack.Inc()
+		d.q.After(d.reqLat, func() { cb(false, nil, false) })
+		return
+	}
 	d.cAccess.Inc()
 	e := d.entry(line)
 	d.lruTick++
@@ -178,6 +202,19 @@ func (d *Directory) handle(src int, line uint64, wantM, lowLane bool, cb func(ok
 			d.cNack.Inc()
 			d.q.After(d.reqLat, func() { cb(false, nil, false) })
 		}
+		return
+	}
+	if stall := d.faults.BusyStall(); stall > 0 {
+		// Hold the busy bit with no transaction in flight for a while,
+		// as if a remote response were slow; then restart the request.
+		// Concurrent requests queue behind the busy bit as usual.
+		d.cFaultStall.Inc()
+		e.busy = true
+		e.busySince = d.q.Now()
+		d.q.After(stall, func() {
+			e.busy = false
+			d.handle(src, line, wantM, lowLane, cb)
+		})
 		return
 	}
 	e.busy = true
@@ -259,13 +296,19 @@ func (d *Directory) handle(src int, line uint64, wantM, lowLane bool, cb func(ok
 		withData(grant)
 		return
 	}
+	// Probe delivery order is not architecturally specified; a seeded
+	// shuffle explores legal orderings the deterministic collector never
+	// produces on its own.
+	d.faults.ShuffleTargets(len(targets), func(i, j int) {
+		targets[i], targets[j] = targets[j], targets[i]
+	})
 
 	pending := len(targets)
 	nacked := false
 	for _, t := range targets {
 		t := t
 		d.cProbes.Inc()
-		d.q.After(d.netLat, func() {
+		d.q.After(d.netLat+d.faults.ProbeExtra(), func() {
 			r := d.privates[t.core].Probe(line, t.kind)
 			d.q.After(d.netLat, func() {
 				switch r.Result {
@@ -327,7 +370,12 @@ func (d *Directory) kick(e *dirEntry) {
 // asks the private hierarchy to retry (busy line).
 func (d *Directory) WriteBack(src int, line uint64, data *LineData, cb func(ok bool)) {
 	line &= LineMask
-	d.q.After(d.reqLat, func() {
+	d.q.After(d.reqLat+d.faults.ReqExtra(), func() {
+		if d.faults.SpuriousNack() {
+			d.cFaultNack.Inc()
+			d.q.After(d.reqLat, func() { cb(false) })
+			return
+		}
 		d.cAccess.Inc()
 		e := d.entry(line)
 		if e.busy {
@@ -369,4 +417,42 @@ func (d *Directory) SharersOf(line uint64) uint64 {
 		return e.sharers
 	}
 	return 0
+}
+
+// ---------- Audit / chaos hooks ----------
+
+// AuditEntries visits every directory entry in ascending line order
+// (sorted for deterministic auditor reports).
+func (d *Directory) AuditEntries(visit func(line uint64, owner int, sharers uint64, busy bool, busySince uint64)) {
+	keys := make([]uint64, 0, len(d.entries))
+	for k := range d.entries {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		e := d.entries[k]
+		visit(e.line, e.owner, e.sharers, e.busy, e.busySince)
+	}
+}
+
+// EntryInfo reports a line's directory bookkeeping (auditor use).
+func (d *Directory) EntryInfo(line uint64) (owner int, sharers uint64, busy bool, ok bool) {
+	e, ok := d.entries[line&LineMask]
+	if !ok {
+		return -1, 0, false, false
+	}
+	return e.owner, e.sharers, e.busy, true
+}
+
+// SabotageDropOwner deliberately forgets a line's owner (crash-pipeline
+// testing): the private hierarchy still holds E/M but the directory now
+// believes nobody does, which the single-writer audit must flag. Busy
+// lines are skipped (their owner field is mid-transaction by design).
+func (d *Directory) SabotageDropOwner(line uint64) bool {
+	e, ok := d.entries[line&LineMask]
+	if !ok || e.busy || e.owner < 0 {
+		return false
+	}
+	e.owner = -1
+	return true
 }

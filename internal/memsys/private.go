@@ -1,10 +1,11 @@
 package memsys
 
 import (
-	"fmt"
+	"sort"
 
 	"tusim/internal/config"
 	"tusim/internal/event"
+	"tusim/internal/faults"
 	"tusim/internal/stats"
 )
 
@@ -57,6 +58,7 @@ type loadWait struct {
 
 type mshrEntry struct {
 	line      uint64
+	born      uint64 // allocation cycle (age-bound auditing)
 	wantM     bool
 	upgradeM  bool // a writable request arrived while a GetS was in flight
 	autoRetry bool
@@ -156,12 +158,22 @@ type Private struct {
 
 	handler UnauthorizedHandler
 	lruTick uint64
+	faults  *faults.Injector
+	// cFaultMSHR counts injected MSHR-pressure faults; allocated only
+	// when an injector is installed so fault-free stat sets are
+	// unchanged.
+	cFaultMSHR *stats.Counter
 
 	// OnDemandMiss lets a prefetcher observe the demand miss stream.
 	OnDemandMiss func(addr uint64, store bool)
 	// OnStoreVisible fires whenever store bytes become globally visible
 	// (consumed by the TSO checker).
 	OnStoreVisible func(line uint64, mask Mask, data *LineData)
+	// OnLineLost fires when an invalidating probe (a remote writer)
+	// arrives for a line, whether or not a copy is still held —
+	// directory sharer lists are imprecise. The core's memory-order
+	// buffer subscribes to snoop already-bound loads.
+	OnLineLost func(line uint64)
 
 	cL1Hit, cL1Miss, cL2Hit, cL2Miss   *stats.Counter
 	cL1Write, cL2Update, cWriteback    *stats.Counter
@@ -204,6 +216,14 @@ func NewPrivate(id int, cfg *config.Config, q *event.Queue, dir *Directory, st *
 // SetHandler installs the TUS handler. Must be called before simulation.
 func (p *Private) SetHandler(h UnauthorizedHandler) { p.handler = h }
 
+// SetFaults installs a fault injector (nil disables injection).
+func (p *Private) SetFaults(in *faults.Injector) {
+	p.faults = in
+	if in != nil {
+		p.cFaultMSHR = p.st.Counter("fault_mshr_pressure")
+	}
+}
+
 func (p *Private) l1Set(line uint64) int { return int((line >> 6) % uint64(len(p.l1Sets))) }
 func (p *Private) l2Set(line uint64) int { return int((line >> 6) % uint64(len(p.l2Sets))) }
 
@@ -217,7 +237,13 @@ func (p *Private) Writable(line uint64) bool {
 }
 
 // MSHRFree reports whether a new demand miss can be tracked.
-func (p *Private) MSHRFree() bool { return len(p.mshrs)-p.prefMSHRs < p.mshrLimit }
+func (p *Private) MSHRFree() bool {
+	if p.faults.MSHRPressure() {
+		p.cFaultMSHR.Inc()
+		return false
+	}
+	return len(p.mshrs)-p.prefMSHRs < p.mshrLimit
+}
 
 func (p *Private) touch1(pl *PLine) { p.lruTick++; pl.lru1 = p.lruTick }
 func (p *Private) touch2(pl *PLine) { p.lruTick++; pl.lru2 = p.lruTick }
@@ -282,7 +308,7 @@ func (p *Private) Load(addr uint64, size uint8, cb func([]byte)) bool {
 	if p.OnDemandMiss != nil {
 		p.OnDemandMiss(addr, false)
 	}
-	m := &mshrEntry{line: line, wantM: false, autoRetry: true}
+	m := &mshrEntry{line: line, born: p.q.Now(), wantM: false, autoRetry: true}
 	m.loads = append(m.loads, loadWait{addr, size, cb})
 	p.mshrs[line] = m
 	p.send(m)
@@ -306,7 +332,7 @@ func (p *Private) PrefetchRead(line uint64) bool {
 		return false
 	}
 	p.cL2Miss.Inc()
-	m := &mshrEntry{line: line, autoRetry: false, prefetch: true, lowLane: true}
+	m := &mshrEntry{line: line, born: p.q.Now(), autoRetry: false, prefetch: true, lowLane: true}
 	p.mshrs[line] = m
 	p.prefMSHRs++
 	p.send(m)
@@ -348,7 +374,7 @@ func (p *Private) RequestWritable(line uint64, prefetch, autoRetry bool, cb func
 		return false
 	}
 	p.cL2Miss.Inc()
-	m := &mshrEntry{line: line, wantM: true, autoRetry: autoRetry, prefetch: prefetch}
+	m := &mshrEntry{line: line, born: p.q.Now(), wantM: true, autoRetry: autoRetry, prefetch: prefetch}
 	if cb != nil {
 		m.writeCbs = append(m.writeCbs, cb)
 	}
@@ -374,7 +400,7 @@ func (p *Private) send(m *mshrEntry) {
 			// Pending loads must not be dropped: reissue as a fresh
 			// auto-retried read request.
 			if len(m.loads) > 0 {
-				m2 := &mshrEntry{line: m.line, wantM: false, autoRetry: true, loads: m.loads}
+				m2 := &mshrEntry{line: m.line, born: p.q.Now(), wantM: false, autoRetry: true, loads: m.loads}
 				p.mshrs[m.line] = m2
 				p.send(m2)
 			}
@@ -423,7 +449,10 @@ func (p *Private) fill(m *mshrEntry, data *LineData, excl bool) {
 		// TUS: write permission granted — combine memory data with the
 		// unauthorized bytes (Fig. 7 (4)).
 		if !pl.InL1 {
-			panic(fmt.Sprintf("memsys: core %d not-visible line %#x lost its L1 copy", p.ID, line))
+			// Invariant: not-visible lines are pinned in L1 (l1Evictable
+			// excludes them), so a writable fill must find the L1 copy.
+			panic(faults.Violationf("memsys", p.ID, line, "notvisible-in-l1",
+				"not-visible line lost its L1 copy during writable fill"))
 		}
 		inv := ^pl.UMask
 		Merge(&pl.L1Data, data, inv)
@@ -471,7 +500,7 @@ func (p *Private) fill(m *mshrEntry, data *LineData, excl bool) {
 		// A writable request piggybacked on an in-flight read: the read
 		// was granted shared, so chase it with a proper GetM carrying
 		// the write callbacks forward.
-		m2 := &mshrEntry{line: line, wantM: true, autoRetry: true, writeCbs: m.writeCbs}
+		m2 := &mshrEntry{line: line, born: p.q.Now(), wantM: true, autoRetry: true, writeCbs: m.writeCbs}
 		p.mshrs[line] = m2
 		p.send(m2)
 	} else {
@@ -507,7 +536,8 @@ func (p *Private) StoreVisible(addr uint64, data []byte) bool {
 		return false
 	}
 	if pl.NotVisible {
-		panic("memsys: StoreVisible on a not-visible line; use the TUS paths")
+		panic(faults.Violationf("memsys", p.ID, line, "visible-store-path",
+			"StoreVisible on a not-visible line; use the TUS paths"))
 	}
 	if !pl.InL1 {
 		if !p.allocL1(pl) {
@@ -539,7 +569,8 @@ func (p *Private) StoreVisibleLine(line uint64, data *LineData, mask Mask) bool 
 		return false
 	}
 	if pl.NotVisible {
-		panic("memsys: StoreVisibleLine on a not-visible line")
+		panic(faults.Violationf("memsys", p.ID, line, "visible-store-path",
+			"StoreVisibleLine on a not-visible line"))
 	}
 	if !pl.InL1 {
 		if !p.allocL1(pl) {
@@ -597,7 +628,8 @@ func (p *Private) StoreUnauthorizedHitLine(line uint64, data *LineData, mask Mas
 	line &= LineMask
 	pl := p.lines[line]
 	if pl == nil || !pl.NotVisible || !pl.InL1 {
-		panic("memsys: StoreUnauthorizedHitLine on a line that is not an unauthorized L1 resident")
+		panic(faults.Violationf("memsys", p.ID, line, "unauthorized-resident",
+			"StoreUnauthorizedHitLine on a line that is not an unauthorized L1 resident"))
 	}
 	Merge(&pl.L1Data, data, mask)
 	pl.UMask |= mask
@@ -677,7 +709,8 @@ func (p *Private) StoreUnauthorizedHit(addr uint64, data []byte) {
 	line := addr & LineMask
 	pl := p.lines[line]
 	if pl == nil || !pl.NotVisible || !pl.InL1 {
-		panic("memsys: StoreUnauthorizedHit on a line that is not an unauthorized L1 resident")
+		panic(faults.Violationf("memsys", p.ID, line, "unauthorized-resident",
+			"StoreUnauthorizedHit on a line that is not an unauthorized L1 resident"))
 	}
 	off := addr & (LineBytes - 1)
 	copy(pl.L1Data[off:], data)
@@ -727,10 +760,12 @@ func (p *Private) StoreOverVisible(addr uint64, data []byte) bool {
 func (p *Private) MakeVisible(line uint64) {
 	pl := p.lines[line&LineMask]
 	if pl == nil || !pl.NotVisible || !pl.Ready {
-		panic("memsys: MakeVisible on a line that is not ready")
+		panic(faults.Violationf("memsys", p.ID, line&LineMask, "makevisible-ready",
+			"MakeVisible on a line that is not ready"))
 	}
 	if pl.State != StateM && pl.State != StateE {
-		panic(fmt.Sprintf("memsys: MakeVisible without permission (state %v)", pl.State))
+		panic(faults.Violationf("memsys", p.ID, line&LineMask, "makevisible-perm",
+			"MakeVisible without permission (state %v)", pl.State))
 	}
 	mask := pl.UMask
 	pl.NotVisible = false
@@ -928,6 +963,9 @@ func (p *Private) writeBack(line uint64, data *LineData) {
 // directory. It runs synchronously at probe-arrival time.
 func (p *Private) Probe(line uint64, kind ProbeKind) ProbeReply {
 	line &= LineMask
+	if kind == ProbeInv && p.OnLineLost != nil {
+		p.OnLineLost(line)
+	}
 	if e, ok := p.wb[line]; ok {
 		// The line was being written back; hand the data over directly.
 		e.retired = true
@@ -1004,6 +1042,72 @@ func (p *Private) evictL1noWB(pl *PLine) {
 	set := p.l1Set(pl.Line)
 	p.l1Sets[set] = remove(p.l1Sets[set], pl)
 	pl.InL1 = false
+}
+
+// ---------- Audit / chaos hooks ----------
+
+// AuditLines visits every tracked line in ascending address order. The
+// sorted walk keeps auditor reports deterministic across runs (map
+// iteration order is randomized by the runtime).
+func (p *Private) AuditLines(visit func(pl *PLine)) {
+	keys := make([]uint64, 0, len(p.lines))
+	for k := range p.lines {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		visit(p.lines[k])
+	}
+}
+
+// AuditMSHRs visits every in-flight miss in ascending line order.
+func (p *Private) AuditMSHRs(visit func(line, born uint64, wantM, prefetch bool)) {
+	keys := make([]uint64, 0, len(p.mshrs))
+	for k := range p.mshrs {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		m := p.mshrs[k]
+		visit(m.line, m.born, m.wantM, m.prefetch)
+	}
+}
+
+// WBPending reports whether line sits in the writeback buffer (its
+// directory state is transiently out of sync while the WB is in flight).
+func (p *Private) WBPending(line uint64) bool {
+	_, ok := p.wb[line&LineMask]
+	return ok
+}
+
+// MSHRPending reports whether a miss for line is in flight.
+func (p *Private) MSHRPending(line uint64) bool { return p.mshrs[line&LineMask] != nil }
+
+// SabotageHideLine deliberately corrupts state for crash-pipeline
+// testing: the lowest-addressed unauthorized (not-visible, not-ready)
+// L1 resident is silently flipped to visible with its unauthorized mask
+// cleared, which the invariant auditor must catch as a WOQ/L1
+// disagreement. Returns the corrupted line, or ok=false when no
+// candidate exists yet.
+func (p *Private) SabotageHideLine() (uint64, bool) {
+	var best uint64
+	found := false
+	for k, pl := range p.lines {
+		if !pl.NotVisible || pl.Ready || !pl.InL1 {
+			continue
+		}
+		if !found || k < best {
+			best = k
+			found = true
+		}
+	}
+	if !found {
+		return 0, false
+	}
+	pl := p.lines[best]
+	pl.NotVisible = false
+	pl.UMask = 0
+	return best, true
 }
 
 // extract copies size bytes at addr out of a line.

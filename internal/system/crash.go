@@ -1,0 +1,155 @@
+package system
+
+import (
+	"fmt"
+
+	"tusim/internal/faults"
+	"tusim/internal/tus"
+)
+
+// MSHRSnapshot is one in-flight miss at crash time.
+type MSHRSnapshot struct {
+	Line     uint64 `json:"line"`
+	Born     uint64 `json:"born"`
+	WantM    bool   `json:"want_m"`
+	Prefetch bool   `json:"prefetch"`
+}
+
+// CoreSnapshot is one core's architectural-ish state at crash time:
+// enough to see what the store machinery was doing without a debugger.
+type CoreSnapshot struct {
+	Core        int            `json:"core"`
+	Committed   uint64         `json:"committed"`
+	SBLen       int            `json:"sb_len"`
+	SBOverflows uint64         `json:"sb_overflows"`
+	WOQ         []tus.WOQInfo  `json:"woq,omitempty"`
+	MSHRs       []MSHRSnapshot `json:"mshrs,omitempty"`
+}
+
+// Crash kinds.
+const (
+	// CrashWatchdog: no core committed anything for a full watchdog
+	// window (deadlock or livelock).
+	CrashWatchdog = "watchdog"
+	// CrashInvariant: protocol code panicked with a ProtocolError.
+	CrashInvariant = "invariant"
+	// CrashAudit: the periodic invariant auditor found an inconsistency.
+	CrashAudit = "audit"
+	// CrashMaxCycles: the run exceeded Config.MaxCycles.
+	CrashMaxCycles = "max-cycles"
+)
+
+// CrashReport is the typed error system.Run returns when the machine
+// dies. It carries everything needed to triage — and, combined with the
+// workload description the harness adds, to replay — the failure.
+type CrashReport struct {
+	Kind      string `json:"kind"`
+	Cycle     uint64 `json:"cycle"`
+	Mechanism string `json:"mechanism"`
+	Cores     int    `json:"cores"`
+	Message   string `json:"message"`
+	// Violation is set for invariant/audit crashes.
+	Violation *faults.ProtocolError `json:"violation,omitempty"`
+	// FaultPlan is the injected fault schedule, if any (Seed 0 and all
+	// rates zero when the run was fault-free).
+	FaultPlan faults.Plan    `json:"fault_plan"`
+	PerCore   []CoreSnapshot `json:"per_core"`
+}
+
+// Error implements error.
+func (r *CrashReport) Error() string {
+	return fmt.Sprintf("system: %s crash at cycle %d (%s, %d cores): %s",
+		r.Kind, r.Cycle, r.Mechanism, r.Cores, r.Message)
+}
+
+// crash assembles a CrashReport from the machine's current state.
+func (s *System) crash(kind string, violation *faults.ProtocolError, message string) *CrashReport {
+	r := &CrashReport{
+		Kind:      kind,
+		Cycle:     s.Q.Now(),
+		Mechanism: s.Cfg.Mechanism.String(),
+		Cores:     s.Cfg.Cores,
+		Message:   message,
+		Violation: violation,
+		FaultPlan: s.faults.Plan(),
+	}
+	for i, c := range s.Cores {
+		snap := CoreSnapshot{
+			Core:        i,
+			Committed:   s.CoreStats[i].Get("committed_ops"),
+			SBLen:       c.SB.Len(),
+			SBOverflows: c.SB.Overflows,
+		}
+		if t, ok := s.Mechs[i].(*tus.TUS); ok {
+			snap.WOQ = t.AuditWOQ()
+		}
+		s.Privs[i].AuditMSHRs(func(line, born uint64, wantM, prefetch bool) {
+			snap.MSHRs = append(snap.MSHRs, MSHRSnapshot{Line: line, Born: born, WantM: wantM, Prefetch: prefetch})
+		})
+		r.PerCore = append(r.PerCore, snap)
+	}
+	return r
+}
+
+// InstallFaults wires a fault injector into every layer of the machine
+// (directory, private hierarchies, TUS drain) and schedules the plan's
+// sabotage, if any. Call before Run. A nil injector is a no-op.
+func (s *System) InstallFaults(in *faults.Injector) {
+	s.faults = in
+	if in == nil {
+		return
+	}
+	s.Dir.SetFaults(in)
+	for i, p := range s.Privs {
+		p.SetFaults(in)
+		if t, ok := s.Mechs[i].(*tus.TUS); ok {
+			t.SetFaults(in, s.CoreStats[i])
+		}
+	}
+	if spec := in.Plan().SabotageSpec; spec.Kind != "" {
+		s.scheduleSabotage(spec)
+	}
+}
+
+// scheduleSabotage retries the corruption once per cycle from
+// spec.Cycle until a candidate exists, so a given seed always corrupts
+// the same state at the same cycle.
+func (s *System) scheduleSabotage(spec faults.Sabotage) {
+	if spec.Core < 0 || spec.Core >= len(s.Privs) {
+		return
+	}
+	s.Q.At(spec.Cycle, func() {
+		s.Q.Every(1, func() bool {
+			return !s.trySabotage(spec) // keep retrying until it lands
+		})
+	})
+}
+
+func (s *System) trySabotage(spec faults.Sabotage) bool {
+	switch spec.Kind {
+	case faults.SabotageHideLine:
+		_, ok := s.Privs[spec.Core].SabotageHideLine()
+		return ok
+	case faults.SabotageDropOwner:
+		target, found := uint64(0), false
+		s.Dir.AuditEntries(func(line uint64, owner int, _ uint64, busy bool, _ uint64) {
+			if found || busy || owner != spec.Core {
+				return
+			}
+			// Only corrupt a settled line (no miss or writeback in
+			// flight) the private really holds: the resulting
+			// directory/private disagreement is then unambiguous.
+			p := s.Privs[spec.Core]
+			if p.MSHRPending(line) || p.WBPending(line) || !p.Writable(line) {
+				return
+			}
+			pl := p.Lookup(line)
+			if pl == nil || pl.NotVisible {
+				return
+			}
+			target, found = line, true
+		})
+		return found && s.Dir.SabotageDropOwner(target)
+	}
+	return true // unknown kind: stop retrying
+}

@@ -1,0 +1,84 @@
+package system
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"tusim/internal/config"
+	"tusim/internal/isa"
+)
+
+// stallTrace is a single cold-miss load: commits stall for the full
+// miss latency, which dwarfs a tiny watchdog window.
+func stallTrace() []isa.Stream {
+	ops := []isa.MicroOp{{Kind: isa.Load, Addr: 1 << 30, Size: 8}}
+	return []isa.Stream{isa.NewSliceStream(ops)}
+}
+
+func TestWatchdogCrashReport(t *testing.T) {
+	cfg := config.Default()
+	cfg.WatchdogWindow = 3
+	sys, err := New(cfg, stallTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = sys.Run()
+	if err == nil {
+		t.Fatal("run with a 3-cycle watchdog completed without tripping")
+	}
+	var cr *CrashReport
+	if !errors.As(err, &cr) {
+		t.Fatalf("error is not a *CrashReport: %v", err)
+	}
+	if cr.Kind != CrashWatchdog {
+		t.Fatalf("kind = %q, want %q", cr.Kind, CrashWatchdog)
+	}
+	if cr.Cores != 1 || len(cr.PerCore) != 1 {
+		t.Fatalf("per-core snapshots: cores=%d len=%d", cr.Cores, len(cr.PerCore))
+	}
+	if cr.PerCore[0].Committed != 0 {
+		t.Fatalf("snapshot committed = %d, want 0 (nothing could commit)", cr.PerCore[0].Committed)
+	}
+	// The report must serialize (it is embedded in repro bundles).
+	if _, jerr := json.Marshal(cr); jerr != nil {
+		t.Fatalf("report does not serialize: %v", jerr)
+	}
+}
+
+func TestMaxCyclesCrashReport(t *testing.T) {
+	cfg := config.Default()
+	cfg.MaxCycles = 20
+	cfg.WatchdogWindow = 1 << 40 // keep the watchdog out of the way
+	sys, err := New(cfg, stallTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = sys.Run()
+	var cr *CrashReport
+	if !errors.As(err, &cr) {
+		t.Fatalf("error is not a *CrashReport: %v", err)
+	}
+	if cr.Kind != CrashMaxCycles {
+		t.Fatalf("kind = %q, want %q", cr.Kind, CrashMaxCycles)
+	}
+}
+
+// TestWatchdogDefaultWindow: a normal run must never trip the default
+// watchdog (regression guard for the window plumbing). Run also
+// tolerates a zeroed window (hand-built configs) by falling back to
+// the default.
+func TestWatchdogDefaultWindow(t *testing.T) {
+	cfg := config.Default()
+	if cfg.WatchdogWindow != config.DefaultWatchdogWindow {
+		t.Fatalf("default config WatchdogWindow = %d, want %d", cfg.WatchdogWindow, config.DefaultWatchdogWindow)
+	}
+	cfg.WatchdogWindow = 0 // exercise the Run-side fallback
+	sys, err := New(cfg, stallTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Run(); err != nil {
+		t.Fatalf("single-load run crashed: %v", err)
+	}
+}

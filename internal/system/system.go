@@ -9,6 +9,7 @@ import (
 	"tusim/internal/config"
 	"tusim/internal/cpu"
 	"tusim/internal/event"
+	"tusim/internal/faults"
 	"tusim/internal/isa"
 	"tusim/internal/mech"
 	"tusim/internal/memsys"
@@ -16,6 +17,14 @@ import (
 	"tusim/internal/stats"
 	"tusim/internal/tus"
 )
+
+// Auditor walks the machine's global state and reports the first
+// invariant violation it finds (nil when everything is consistent).
+// The audit package implements this; system only defines the interface
+// so the dependency points outward.
+type Auditor interface {
+	Audit(cycle uint64) *faults.ProtocolError
+}
 
 // Observer receives the architectural event stream (the TSO checker
 // implements this; a nil observer costs nothing).
@@ -45,6 +54,8 @@ type System struct {
 	Cycles    uint64
 	observer  Observer
 	dram      *memsys.DRAM
+	faults    *faults.Injector
+	auditErr  *faults.ProtocolError
 
 	// WarmupOps discards statistics until this many micro-ops have
 	// committed machine-wide (the paper warms for 200M instructions
@@ -112,6 +123,17 @@ func New(cfg *config.Config, streams []isa.Stream) (*System, error) {
 		core.SetMechanism(m)
 	}
 	s.Dir.Attach(s.Privs)
+	for _, core := range s.Cores {
+		// Commit-time re-binding of snooped loads reads the machine's
+		// visible coherent state (observational only; no timing).
+		core.ReadVisible = func(addr uint64, size uint8) [8]byte {
+			var v [8]byte
+			for i := uint8(0); i < size; i++ {
+				v[i] = s.ReadCoherent(addr + uint64(i))
+			}
+			return v
+		}
+	}
 	return s, nil
 }
 
@@ -137,11 +159,42 @@ func (s *System) SetObserver(o Observer) {
 	}
 }
 
-// Run simulates until every core retires its trace and drains. It
-// fails if the watchdog sees no commit progress for a long window
-// (deadlock/livelock detection) or MaxCycles elapses.
-func (s *System) Run() error {
-	const watchdogWindow = 2_000_000
+// SetAuditor schedules a periodic state-invariant audit (before Run).
+// The audit rides the event queue, so it interleaves deterministically
+// with the simulation; a violation aborts the run with a CrashReport.
+func (s *System) SetAuditor(a Auditor, every uint64) {
+	s.Q.Every(every, func() bool {
+		if s.auditErr != nil {
+			return false
+		}
+		if pe := a.Audit(s.Q.Now()); pe != nil {
+			s.auditErr = pe
+			return false
+		}
+		return true
+	})
+}
+
+// Run simulates until every core retires its trace and drains. On
+// deadlock/livelock (watchdog), MaxCycles overrun, a protocol-code
+// invariant panic, or an auditor violation it returns a *CrashReport
+// (retrieve with errors.As) carrying per-core state snapshots.
+func (s *System) Run() (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			pe, ok := r.(*faults.ProtocolError)
+			if !ok {
+				// Not a protocol invariant: a genuine harness bug, let
+				// it kill the process with its original stack.
+				panic(r)
+			}
+			err = s.crash(CrashInvariant, pe, pe.Error())
+		}
+	}()
+	watchdogWindow := s.Cfg.WatchdogWindow
+	if watchdogWindow == 0 {
+		watchdogWindow = config.DefaultWatchdogWindow
+	}
 	lastProgress := s.Q.Now()
 	lastCommitted := uint64(0)
 	for {
@@ -158,7 +211,8 @@ func (s *System) Run() error {
 			return nil
 		}
 		if s.Q.Now() >= s.Cfg.MaxCycles {
-			return fmt.Errorf("system: exceeded MaxCycles=%d", s.Cfg.MaxCycles)
+			return s.crash(CrashMaxCycles, nil,
+				fmt.Sprintf("exceeded MaxCycles=%d", s.Cfg.MaxCycles))
 		}
 		committed := uint64(0)
 		for _, st := range s.CoreStats {
@@ -177,11 +231,20 @@ func (s *System) Run() error {
 			lastCommitted = committed
 			lastProgress = s.Q.Now()
 		} else if s.Q.Now()-lastProgress > watchdogWindow {
-			return fmt.Errorf("system: no commit progress for %d cycles at cycle %d (deadlock?)", watchdogWindow, s.Q.Now())
+			perCore := make([]uint64, len(s.CoreStats))
+			for i, st := range s.CoreStats {
+				perCore[i] = st.Get("committed_ops")
+			}
+			return s.crash(CrashWatchdog, nil,
+				fmt.Sprintf("no commit progress for %d cycles (per-core commits: %v) — deadlock?",
+					watchdogWindow, perCore))
 		}
 		s.Q.Advance()
 		for _, c := range s.Cores {
 			c.Tick()
+		}
+		if s.auditErr != nil {
+			return s.crash(CrashAudit, s.auditErr, s.auditErr.Error())
 		}
 	}
 }

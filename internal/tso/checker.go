@@ -329,8 +329,14 @@ func (c *Checker) legalByte(core int, loadSeq, a uint64, v byte, cycle uint64) b
 			return true
 		}
 	}
-	// A publication of this core still sitting in the open batch.
-	if b := c.batch[core]; b != nil {
+	// A publication still sitting in an open same-cycle batch (any
+	// core's): events within a cycle are ordered, so a publication the
+	// checker has already recorded this cycle happened before this bind
+	// and is legally observable.
+	for _, b := range c.batch {
+		if b == nil {
+			continue
+		}
 		if pub := b[a&^63]; pub != nil && pub.mask&(1<<uint(a&63)) != 0 {
 			if pub.data[a&63] == v {
 				return true

@@ -14,6 +14,7 @@ import (
 	"tusim/internal/config"
 	"tusim/internal/cpu"
 	"tusim/internal/event"
+	"tusim/internal/faults"
 	"tusim/internal/memsys"
 	"tusim/internal/stats"
 	"tusim/internal/wcb"
@@ -25,6 +26,7 @@ import (
 // drive the lex-gated re-request rule.
 type woqEntry struct {
 	line      uint64
+	born      uint64 // admission cycle (age-bound auditing)
 	group     int
 	canCycle  bool
 	ready     bool
@@ -62,6 +64,10 @@ type TUS struct {
 	pending []flushItem   // group awaiting L1D/WOQ admission
 	pendBuf []*wcb.Buffer // WCB buffers backing the pending group (nil for bypass)
 	idle    int
+	faults  *faults.Injector
+	// cFaultFlush counts injected early WCB flushes; allocated only when
+	// an injector is installed.
+	cFaultFlush *stats.Counter
 
 	cDrained, cBlocked     *stats.Counter
 	cVisibleGroups         *stats.Counter
@@ -103,6 +109,14 @@ func New(core *cpu.Core, cfg *config.Config, q *event.Queue, st *stats.Set) *TUS
 	return t
 }
 
+// SetFaults installs a fault injector on the drain path (nil disables).
+func (t *TUS) SetFaults(in *faults.Injector, st *stats.Set) {
+	t.faults = in
+	if in != nil {
+		t.cFaultFlush = st.Counter("fault_wcb_flushes")
+	}
+}
+
 // Name implements cpu.DrainMechanism.
 func (t *TUS) Name() string { return config.TUS.String() }
 
@@ -114,6 +128,14 @@ func (t *TUS) lex(line uint64) uint64 { return wcb.Lex(line, t.cfg.LexBits) }
 func (t *TUS) Tick() {
 	t.advanceVisibility()
 	t.reRequest()
+
+	if t.pending == nil && !t.wcbs.Empty() && t.faults.WCBFlush() {
+		// Force an early flush of the oldest coalescing group — legal
+		// (equivalent to idle-timeout expiry), but it stresses the
+		// WOQ/admission path with smaller, more frequent atomic groups.
+		t.cFaultFlush.Inc()
+		t.startFlushOldest()
+	}
 
 	if t.pending != nil {
 		if !t.tryAdmit() {
@@ -203,7 +225,8 @@ func (t *TUS) tryAdmit() bool {
 		case pl != nil && pl.NotVisible:
 			e := t.byLine[it.line]
 			if e == nil {
-				panic("tus: not-visible line missing from WOQ")
+				panic(faults.Violationf("tus", t.core.ID, it.line, "woq-tracks-notvisible",
+					"not-visible line missing from WOQ"))
 			}
 			t.cWOQSearch.Inc()
 			if !e.canCycle {
@@ -256,14 +279,16 @@ func (t *TUS) tryAdmit() bool {
 		case pl != nil && (pl.State == memsys.StateE || pl.State == memsys.StateM):
 			// Authorized hit: L2 keeps the old copy; ready immediately.
 			if !t.priv.StoreOverVisibleLine(it.line, &it.data, it.mask) {
-				panic("tus: StoreOverVisibleLine failed after admission checks")
+				panic(faults.Violationf("tus", t.core.ID, it.line, "admission-checked",
+					"StoreOverVisibleLine failed after admission checks"))
 			}
-			t.append(&woqEntry{line: it.line, group: gid, canCycle: true, ready: true, hasPerm: true})
+			t.append(&woqEntry{line: it.line, born: t.q.Now(), group: gid, canCycle: true, ready: true, hasPerm: true})
 		default:
 			if !t.priv.StoreUnauthorizedLine(it.line, &it.data, it.mask) {
-				panic("tus: StoreUnauthorizedLine failed after admission checks")
+				panic(faults.Violationf("tus", t.core.ID, it.line, "admission-checked",
+					"StoreUnauthorizedLine failed after admission checks"))
 			}
-			e := &woqEntry{line: it.line, group: gid, canCycle: true}
+			e := &woqEntry{line: it.line, born: t.q.Now(), group: gid, canCycle: true}
 			t.append(e)
 			t.request(e)
 		}
@@ -325,7 +350,10 @@ func (t *TUS) firstOfGroup(gid int) int {
 			return i
 		}
 	}
-	panic("tus: group not found in WOQ")
+	// Invariant: gid came from a live byLine entry, and byLine members
+	// are always WOQ members.
+	panic(faults.Violationf("tus", t.core.ID, 0, "group-in-woq",
+		"group %d not found in WOQ", gid))
 }
 
 // ---------- Permission requests ----------
@@ -547,6 +575,33 @@ func (t *TUS) FinalizeStats() {
 
 // WOQLen reports the current WOQ occupancy (tests, harness).
 func (t *TUS) WOQLen() int { return len(t.woq) }
+
+// WOQInfo is one WOQ entry's state exported for auditing and crash
+// snapshots.
+type WOQInfo struct {
+	Line      uint64 `json:"line"`
+	Group     int    `json:"group"`
+	Lex       uint64 `json:"lex"`
+	HasPerm   bool   `json:"has_perm"`
+	Ready     bool   `json:"ready"`
+	Requested bool   `json:"requested"`
+	Gated     bool   `json:"gated"`
+	CanCycle  bool   `json:"can_cycle"`
+	Born      uint64 `json:"born"`
+}
+
+// AuditWOQ snapshots the WOQ in order (head first).
+func (t *TUS) AuditWOQ() []WOQInfo {
+	out := make([]WOQInfo, len(t.woq))
+	for i, e := range t.woq {
+		out[i] = WOQInfo{
+			Line: e.line, Group: e.group, Lex: t.lex(e.line),
+			HasPerm: e.hasPerm, Ready: e.ready, Requested: e.requested,
+			Gated: e.gated, CanCycle: e.canCycle, Born: e.born,
+		}
+	}
+	return out
+}
 
 // DumpWOQ renders the WOQ for debugging.
 func (t *TUS) DumpWOQ() string {
