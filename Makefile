@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test short race chaos litmus figs
+.PHONY: all build vet test short race check smoke chaos litmus figs
 
 all: vet build test
 
@@ -21,6 +21,18 @@ short:
 # race: the protocol-heavy packages under the race detector.
 race:
 	$(GO) test -short -race ./internal/system/ ./internal/litmus/
+
+# check: model-check the simulator against the operational x86-TSO
+# oracle — every litmus program × {base, CSB, TUS}, bounded-exhaustive
+# schedule exploration. On a violation it writes mc-crash.json; replay
+# with
+#   $(GO) run ./cmd/tusim -repro mc-crash.json
+check: build
+	$(GO) run ./cmd/tuscheck
+
+# smoke: the same matrix under small CI budgets.
+smoke: build
+	$(GO) run ./cmd/tuscheck -smoke
 
 # chaos: the seeded chaos-fuzz sweep (litmus fault matrix + bench
 # soak). On failure it writes tus-crash.json; replay it with

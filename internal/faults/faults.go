@@ -11,12 +11,15 @@
 // shuffles — so any TSO-checker or auditor violation under injection
 // is a real protocol bug, never an artifact of the harness.
 //
-// Determinism: the injector owns a private splitmix64 stream advanced
-// only at injection points, which themselves fire in the deterministic
-// event order of the simulation. A given (workload seed, fault seed)
-// pair therefore reproduces a run bit-for-bit, which is what makes
-// crash-to-repro bundles possible. A nil *Injector disables every
-// injection point at zero cost and zero perturbation.
+// Determinism: the injector draws every choice from a DecisionSource.
+// The production source is a private splitmix64 stream advanced only at
+// injection points, which themselves fire in the deterministic event
+// order of the simulation; a given (workload seed, fault seed) pair
+// therefore reproduces a run bit-for-bit, which is what makes
+// crash-to-repro bundles possible. The model checker swaps in a
+// ScriptSource to enumerate decision streams exhaustively instead of
+// sampling them. A nil *Injector disables every injection point at zero
+// cost and zero perturbation.
 package faults
 
 import "fmt"
@@ -144,15 +147,23 @@ func Schedule(seed uint64) Plan {
 // nil receiver (returning the zero perturbation), so call sites need
 // no nil checks of their own.
 type Injector struct {
-	plan  Plan
-	state uint64
+	plan Plan
+	src  DecisionSource
 	// Injected counts fault decisions that actually perturbed the run.
 	Injected uint64
 }
 
-// NewInjector builds an injector for the plan.
+// NewInjector builds an injector for the plan, drawing decisions from
+// the seeded PRNG source (the production configuration).
 func NewInjector(p Plan) *Injector {
-	return &Injector{plan: p, state: splitmix64(p.Seed ^ 0xC0FFEE)}
+	return NewInjectorWithSource(p, NewPRNGSource(p.Seed))
+}
+
+// NewInjectorWithSource builds an injector whose decisions come from an
+// explicit source — the model checker's hook for enumerating, rather
+// than sampling, the injector's choice points.
+func NewInjectorWithSource(p Plan, src DecisionSource) *Injector {
+	return &Injector{plan: p, src: src}
 }
 
 // Plan returns the plan the injector was built from.
@@ -163,31 +174,27 @@ func (in *Injector) Plan() Plan {
 	return in.plan
 }
 
-func (in *Injector) next() uint64 {
-	in.state = splitmix64(in.state)
-	return in.state
-}
-
-// hit rolls a percentage; it consumes randomness only when pct > 0 so
+// hit rolls a percentage; it consults the source only when pct > 0 so
 // plans that disable a mechanism stay stream-compatible with plans
 // that never mention it.
 func (in *Injector) hit(pct int) bool {
-	if in == nil || pct <= 0 {
+	if in == nil || in.src == nil || pct <= 0 {
 		return false
 	}
-	if in.next()%100 < uint64(pct) {
+	if in.src.Hit(pct) {
 		in.Injected++
 		return true
 	}
 	return false
 }
 
-// amount returns a value in [1, max] (1 when max is 0).
+// amount returns a value in [1, max] (1 when max is 0); the source is
+// consulted only when the domain has more than one element.
 func (in *Injector) amount(max uint64) uint64 {
 	if max <= 1 {
 		return 1
 	}
-	return 1 + in.next()%max
+	return in.src.Amount(max)
 }
 
 // ReqExtra returns extra latency for one directory request, usually 0.
@@ -226,11 +233,11 @@ func (in *Injector) WCBFlush() bool { return in != nil && in.hit(in.plan.WCBFlus
 // ShuffleTargets applies a random permutation to n probe targets via
 // swap (Fisher-Yates); a no-op unless the plan enables shuffling.
 func (in *Injector) ShuffleTargets(n int, swap func(i, j int)) {
-	if in == nil || !in.plan.ShuffleProbes || n < 2 {
+	if in == nil || in.src == nil || !in.plan.ShuffleProbes || n < 2 {
 		return
 	}
 	for i := n - 1; i > 0; i-- {
-		j := int(in.next() % uint64(i+1))
+		j := in.src.Index(i + 1)
 		if j != i {
 			swap(i, j)
 		}

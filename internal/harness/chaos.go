@@ -41,6 +41,15 @@ type ReproBundle struct {
 	Watchdog   uint64 `json:"watchdog,omitempty"`
 	// Faults is the injected schedule (includes its seed).
 	Faults faults.Plan `json:"faults"`
+	// Script, when non-nil, pins the injector's decision stream
+	// explicitly instead of deriving it from Faults.Seed: the model
+	// checker's minimal violating schedules replay through it
+	// (litmus-kind bundles only). An empty-but-present script is the
+	// quiet all-defaults schedule, which is distinct from no script.
+	Script []faults.Decision `json:"script,omitempty"`
+	// Scripted marks the bundle as schedule-pinned even when Script
+	// minimized to empty (JSON omits empty slices).
+	Scripted bool `json:"scripted,omitempty"`
 	// Report is the diagnosis from the crashing run (informational;
 	// replay regenerates it).
 	Report *system.CrashReport `json:"report,omitempty"`
@@ -90,11 +99,22 @@ func (b *ReproBundle) Replay() error {
 		if test == nil {
 			return fmt.Errorf("harness: unknown litmus test %q", b.Name)
 		}
-		_, err := litmus.RunOne(*test, m, b.Skew, litmus.Opts{
+		o := litmus.Opts{
 			Faults:     &b.Faults,
 			AuditEvery: b.AuditEvery,
 			Watchdog:   b.Watchdog,
-		})
+		}
+		if b.Scripted || len(b.Script) > 0 {
+			o.Source = faults.NewScriptSource(b.Script)
+		}
+		obs, err := litmus.RunOne(*test, m, b.Skew, o)
+		if err == nil && o.Source != nil && test.Forbidden != nil && test.Forbidden(obs) {
+			// Model-checker bundles may capture a forbidden *outcome*
+			// rather than a crash; replay must reproduce that failure
+			// mode too.
+			err = fmt.Errorf("harness: TSO-forbidden outcome %v in %s/%v skew %d (scripted schedule)",
+				obs, test.Name, m, b.Skew)
+		}
 		return err
 	case "bench":
 		bench, ok := workload.ByName(b.Name)

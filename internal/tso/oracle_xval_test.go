@@ -1,0 +1,227 @@
+package tso_test
+
+// Cross-validation of the online TSO checker against the modelcheck
+// oracle: every complete trace the operational x86-TSO machine can
+// produce is, by construction, a legal event stream — replaying it
+// through tso.Checker must raise zero violations (no false positives).
+// Conversely, mutating a legal trace into a TSO-forbidden one (drains
+// out of program order, a load binding a value that never existed, a
+// store that never becomes visible) must be caught. Together the two
+// directions pin the checker's judgement to the oracle's semantics.
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"tusim/internal/litmus"
+	"tusim/internal/memsys"
+	"tusim/internal/modelcheck"
+	"tusim/internal/tso"
+)
+
+// xvalCycleStep spaces replayed events further apart than the
+// checker's load-sampling window, so window slack can never excuse a
+// value that was not current when its load bound.
+const xvalCycleStep = 1024
+
+func le8(v uint64) (b [8]byte) {
+	binary.LittleEndian.PutUint64(b[:], v)
+	return
+}
+
+// replayTrace feeds one oracle trace to a fresh checker as the
+// architectural event stream the simulator would emit: stores execute
+// and commit when the oracle buffers them, become visible when the
+// oracle drains them, and loads bind the value the oracle computed.
+func replayTrace(cores int, tr modelcheck.Trace) *tso.Checker {
+	ck := tso.NewChecker(cores)
+	seq := make([]uint64, cores)
+	cycle := uint64(1)
+	for _, s := range tr {
+		cycle += xvalCycleStep
+		switch s.Kind {
+		case modelcheck.StepStore:
+			seq[s.Thread]++
+			ck.StoreExecuted(s.Thread, seq[s.Thread], s.Addr, 8, le8(s.Val))
+			ck.StoreCommitted(s.Thread, seq[s.Thread], s.Addr, 8, le8(s.Val))
+		case modelcheck.StepDrain:
+			var line memsys.LineData
+			v := le8(s.Val)
+			copy(line[s.Addr&63:], v[:])
+			ck.StoreVisible(s.Thread, cycle, s.Addr&^63, memsys.MaskFor(s.Addr, 8), &line)
+		case modelcheck.StepLoad:
+			seq[s.Thread]++
+			ck.LoadBound(s.Thread, cycle, seq[s.Thread], s.Addr, 8, le8(s.Val))
+		}
+	}
+	ck.Finish()
+	return ck
+}
+
+func programFor(t *testing.T, name string) (litmus.Program, int) {
+	t.Helper()
+	for _, lt := range litmus.Tests() {
+		if lt.Name == name {
+			p, err := lt.Program()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return p, len(p.Threads)
+		}
+	}
+	t.Fatalf("no litmus test %q", name)
+	return litmus.Program{}, 0
+}
+
+func allTraces(t *testing.T, name string) ([]modelcheck.Trace, int) {
+	t.Helper()
+	p, cores := programFor(t, name)
+	traces, complete := modelcheck.Traces(p, 1<<18)
+	if !complete {
+		t.Fatalf("%s: trace enumeration truncated at %d traces", name, len(traces))
+	}
+	return traces, cores
+}
+
+// TestCheckerAcceptsAllOracleTraces: the zero-false-positive
+// direction, over the whole suite. Every interleaving the operational
+// TSO machine allows — including store-forwarded loads (n6), buffered
+// relaxations (SB), and four-thread drains (IRIW) — must replay
+// through the checker clean.
+func TestCheckerAcceptsAllOracleTraces(t *testing.T) {
+	for _, lt := range litmus.Tests() {
+		lt := lt
+		t.Run(lt.Name, func(t *testing.T) {
+			traces, cores := allTraces(t, lt.Name)
+			if len(traces) == 0 {
+				t.Fatal("oracle enumerated no traces")
+			}
+			for _, tr := range traces {
+				ck := replayTrace(cores, tr)
+				if err := ck.Err(); err != nil {
+					t.Fatalf("false positive on TSO-allowed trace %v: %v", tr, err)
+				}
+			}
+			t.Logf("%d traces replayed clean", len(traces))
+		})
+	}
+}
+
+// mutateSwapAdjacentDrains returns copies of tr with each adjacent
+// same-thread drain pair to different addresses swapped — each mutant
+// publishes a core's stores out of program order, which TSO forbids.
+func mutateSwapAdjacentDrains(tr modelcheck.Trace) []modelcheck.Trace {
+	var out []modelcheck.Trace
+	for i := 0; i+1 < len(tr); i++ {
+		a, b := tr[i], tr[i+1]
+		if a.Kind == modelcheck.StepDrain && b.Kind == modelcheck.StepDrain &&
+			a.Thread == b.Thread && a.Addr != b.Addr {
+			m := append(modelcheck.Trace(nil), tr...)
+			m[i], m[i+1] = b, a
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// TestCheckerCatchesReorderedDrains: the mutation direction for
+// store->store order. Every out-of-order drain mutant of every MP
+// trace must be flagged.
+func TestCheckerCatchesReorderedDrains(t *testing.T) {
+	traces, cores := allTraces(t, "MP")
+	mutants := 0
+	for _, tr := range traces {
+		for _, m := range mutateSwapAdjacentDrains(tr) {
+			mutants++
+			if err := replayTrace(cores, m).Err(); err == nil {
+				t.Fatalf("reordered-drain mutant replayed clean:\n  %v", m)
+			}
+		}
+	}
+	if mutants == 0 {
+		t.Fatal("no adjacent same-thread drain pairs found to mutate — mutation test is vacuous")
+	}
+	t.Logf("%d reordered-drain mutants all caught", mutants)
+}
+
+// TestCheckerCatchesCorruptedLoads: binding a value no store ever
+// wrote (and memory never held) must be flagged, whether the original
+// load read memory or forwarded from the local buffer.
+func TestCheckerCatchesCorruptedLoads(t *testing.T) {
+	// n6 exercises the forwarding path; SB the memory path.
+	for _, name := range []string{"SB", "n6"} {
+		traces, cores := allTraces(t, name)
+		mutants := 0
+		for _, tr := range traces {
+			for i, s := range tr {
+				if s.Kind != modelcheck.StepLoad {
+					continue
+				}
+				m := append(modelcheck.Trace(nil), tr...)
+				m[i].Val += 1000 // a rank no store in the suite writes
+				mutants++
+				if err := replayTrace(cores, m).Err(); err == nil {
+					t.Fatalf("%s: corrupted load (step %d, val %d) replayed clean:\n  %v",
+						name, i, m[i].Val, m)
+				}
+			}
+		}
+		if mutants == 0 {
+			t.Fatalf("%s: no load steps found to corrupt", name)
+		}
+		t.Logf("%s: %d corrupted-load mutants all caught", name, mutants)
+	}
+}
+
+// TestCheckerCatchesDroppedDrain: deleting a trace's final drain
+// leaves a committed store that never becomes visible; the checker's
+// end-of-run completeness check must flag it.
+func TestCheckerCatchesDroppedDrain(t *testing.T) {
+	traces, cores := allTraces(t, "SB")
+	mutants := 0
+	for _, tr := range traces {
+		last := -1
+		for i, s := range tr {
+			if s.Kind == modelcheck.StepDrain {
+				last = i
+			}
+		}
+		if last < 0 {
+			continue
+		}
+		m := append(append(modelcheck.Trace(nil), tr[:last]...), tr[last+1:]...)
+		mutants++
+		if err := replayTrace(cores, m).Err(); err == nil {
+			t.Fatalf("dropped-drain mutant replayed clean:\n  %v", m)
+		}
+	}
+	if mutants == 0 {
+		t.Fatal("no drain steps found to drop")
+	}
+	t.Logf("%d dropped-drain mutants all caught", mutants)
+}
+
+// TestReplayHarnessSelfCheck: the replay harness itself must be
+// faithful — a hand-built two-store, one-load sequence in plain SC
+// order replays clean, so clean results above mean "the checker
+// accepted the trace", not "the harness never exercised it".
+func TestReplayHarnessSelfCheck(t *testing.T) {
+	const x, y = uint64(1 << 33), uint64(1<<33 + 64)
+	tr := modelcheck.Trace{
+		{Kind: modelcheck.StepStore, Thread: 0, Addr: x, Val: 1, Obs: -1},
+		{Kind: modelcheck.StepDrain, Thread: 0, Addr: x, Val: 1, Obs: -1},
+		{Kind: modelcheck.StepStore, Thread: 0, Addr: y, Val: 1, Obs: -1},
+		{Kind: modelcheck.StepDrain, Thread: 0, Addr: y, Val: 1, Obs: -1},
+		{Kind: modelcheck.StepLoad, Thread: 1, Addr: x, Val: 1, Obs: 0},
+	}
+	ck := replayTrace(2, tr)
+	if err := ck.Err(); err != nil {
+		t.Fatalf("SC self-check trace flagged: %v", err)
+	}
+	if got := ck.VisibleByte(x); got != 1 {
+		t.Fatalf("checker visible byte at %#x = %d, want 1", x, got)
+	}
+	if ck.Published != 2 || ck.LoadsSeen != 1 {
+		t.Fatalf("event accounting off: published=%d loads=%d", ck.Published, ck.LoadsSeen)
+	}
+}
