@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test short race check smoke chaos litmus figs
+.PHONY: all build vet test short race race-harness check smoke chaos litmus figs figures-par
 
 all: vet build test
 
@@ -21,6 +21,12 @@ short:
 # race: the protocol-heavy packages under the race detector.
 race:
 	$(GO) test -short -race ./internal/system/ ./internal/litmus/
+
+# race-harness: the parallel experiment harness (worker pool, result
+# cache, stats merging) under the race detector, including the
+# serial-vs-parallel byte-identity tests.
+race-harness:
+	$(GO) test -race ./internal/harness/... ./internal/stats/...
 
 # check: model-check the simulator against the operational x86-TSO
 # oracle — every litmus program × {base, CSB, TUS}, bounded-exhaustive
@@ -46,3 +52,10 @@ litmus:
 
 figs:
 	$(GO) run ./cmd/tusbench -quick
+
+# figures-par: regenerate all figures with the parallel harness (one
+# worker per CPU), a persistent result cache, and the per-figure
+# timing record. Re-running is nearly free: every unchanged cell loads
+# from .tuscache by content hash.
+figures-par:
+	$(GO) run ./cmd/tusbench -quick -j 0 -cache .tuscache -bench-out BENCH_harness.json

@@ -12,9 +12,18 @@
 //	tusbench -quick          # small traces (CI-sized)
 //	tusbench -ops N          # trace length per thread
 //	tusbench -check          # run the TSO checker on every simulation
+//	tusbench -j 8            # run up to 8 simulation cells in parallel
+//	tusbench -j 0            # parallel across all CPUs (default)
+//	tusbench -cache DIR      # persistent content-addressed result cache
+//	tusbench -bench-out F    # write per-figure wall-clock to F (JSON)
+//
+// Parallel runs are byte-identical to -j 1: every figure fans its
+// independent (benchmark, mechanism, SB) cells out to a worker pool
+// and assembles output in deterministic cell order.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -36,6 +45,9 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload seed")
 	check := flag.Bool("check", false, "attach the TSO checker to every run")
 	verbose := flag.Bool("v", false, "print each run")
+	workers := flag.Int("j", 0, "max concurrent simulation cells (0 = all CPUs, 1 = serial)")
+	cacheDir := flag.String("cache", "", "persistent result cache directory (empty = off)")
+	benchOut := flag.String("bench-out", "", "write per-figure timing report to this file (e.g. BENCH_harness.json)")
 	flag.Parse()
 
 	if *table != "" {
@@ -64,11 +76,35 @@ func main() {
 	r.Seed = *seed
 	r.Check = *check
 	r.Verbose = *verbose
-
-	if *jsonOut {
-		if err := harness.WriteJSON(os.Stdout, r); err != nil {
+	r.Workers = *workers
+	if *cacheDir != "" {
+		cache, err := harness.NewDiskCache(*cacheDir)
+		if err != nil {
 			fail(err)
 		}
+		r.Cache = cache
+	}
+	rec := harness.NewBenchRecorder(r)
+	emitBench := func() {
+		if *benchOut == "" {
+			return
+		}
+		if err := rec.Report().WriteFile(*benchOut); err != nil {
+			fail(err)
+		}
+	}
+
+	if *jsonOut {
+		rep, err := harness.BuildJSON(r, rec)
+		if err != nil {
+			fail(err)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fail(err)
+		}
+		emitBench()
 		return
 	}
 
@@ -93,7 +129,8 @@ func main() {
 		figs = []int{*fig}
 	}
 	for _, f := range figs {
-		if err := runFigure(r, f); err != nil {
+		f := f
+		if err := rec.Time(fmt.Sprintf("fig%d", f), func() error { return runFigure(r, f) }); err != nil {
 			fail(err)
 		}
 		fmt.Println()
@@ -101,6 +138,7 @@ func main() {
 	if *fig == 0 {
 		harness.PrintCAMTable(os.Stdout)
 	}
+	emitBench()
 }
 
 func fail(err error) {

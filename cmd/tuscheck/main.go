@@ -14,6 +14,11 @@
 //	tuscheck -smoke                   # small CI budgets
 //	tuscheck -oracle                  # print oracle outcome sets only
 //	tuscheck -skews 8 -depth 8 -runs 512   # exploration budgets
+//	tuscheck -j 8                     # check up to 8 cells in parallel
+//
+// Cells are independent (each explores its own simulator instances), so
+// -j fans them out to a worker pool; reports are buffered and printed
+// in deterministic cell order, identical to the serial run.
 //
 // Exit status is nonzero if any cell is unsound; the violating
 // schedule is written to -crash-out and replays with
@@ -24,7 +29,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"tusim/internal/config"
 	"tusim/internal/litmus"
@@ -43,6 +51,7 @@ func main() {
 	oracleOnly := flag.Bool("oracle", false, "print oracle-allowed outcome sets and exit")
 	verbose := flag.Bool("v", false, "print uncovered outcomes and exploration detail")
 	crashOut := flag.String("crash-out", "mc-crash.json", "where to write the repro bundle on violation")
+	workers := flag.Int("j", 0, "max concurrent cells (0 = all CPUs, 1 = serial; output identical)")
 	flag.Parse()
 
 	tests, err := selectTests(*progs)
@@ -84,27 +93,64 @@ func main() {
 		eo.Skews, eo.MaxDecisions, eo.MaxRuns = 3, 4, 64
 	}
 
-	exit := 0
+	// The (program, mechanism) cells are independent; fan them out to a
+	// worker pool and report in deterministic cell order.
+	type mcCell struct {
+		lt litmus.Test
+		m  config.Mechanism
+	}
+	var cells []mcCell
 	for _, lt := range tests {
 		for _, m := range mechs {
-			r, err := modelcheck.Check(lt, m, eo, modelcheck.Limits{MaxStates: *states})
-			if err != nil {
-				fail(err)
-			}
-			r.Write(os.Stdout)
-			if *verbose && len(r.Uncovered) > 0 {
-				fmt.Printf("    deepened=%v budget_exhausted=%v\n",
-					r.Exploration.Deepened, r.Exploration.BudgetExhausted)
-			}
-			if !r.Sound() {
-				exit = 1
-				if r.Bundle != nil {
-					if err := r.Bundle.Save(*crashOut); err != nil {
-						fail(err)
-					}
-					fmt.Printf("    repro bundle written to %s (replay: tusim -repro %s)\n",
-						*crashOut, *crashOut)
+			cells = append(cells, mcCell{lt, m})
+		}
+	}
+	w := *workers
+	if w <= 0 {
+		w = runtime.NumCPU()
+	}
+	if w > len(cells) {
+		w = len(cells)
+	}
+	results := make([]*modelcheck.Report, len(cells))
+	errs := make([]error, len(cells))
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= len(cells) {
+					return
 				}
+				results[i], errs[i] = modelcheck.Check(cells[i].lt, cells[i].m, eo,
+					modelcheck.Limits{MaxStates: *states})
+			}
+		}()
+	}
+	wg.Wait()
+
+	exit := 0
+	for i, r := range results {
+		if errs[i] != nil {
+			fail(errs[i])
+		}
+		r.Write(os.Stdout)
+		if *verbose && len(r.Uncovered) > 0 {
+			fmt.Printf("    deepened=%v budget_exhausted=%v\n",
+				r.Exploration.Deepened, r.Exploration.BudgetExhausted)
+		}
+		if !r.Sound() {
+			exit = 1
+			if r.Bundle != nil {
+				if err := r.Bundle.Save(*crashOut); err != nil {
+					fail(err)
+				}
+				fmt.Printf("    repro bundle written to %s (replay: tusim -repro %s)\n",
+					*crashOut, *crashOut)
 			}
 		}
 	}

@@ -21,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"text/tabwriter"
 
 	"tusim/internal/audit"
@@ -54,6 +55,7 @@ func main() {
 	watchdog := flag.Uint64("watchdog", 0, "no-commit-progress watchdog window in cycles (0 = default)")
 	repro := flag.String("repro", "", "replay a crash repro bundle and exit")
 	crashOut := flag.String("crash-out", "tus-crash.json", "where -chaos-seed writes the repro bundle on failure")
+	workers := flag.Int("j", 0, "max concurrent chaos cells (0 = all CPUs, 1 = serial; results identical)")
 	flag.Parse()
 
 	if *repro != "" {
@@ -87,7 +89,11 @@ func main() {
 	}
 
 	if *chaosSeed != 0 {
-		runChaos(*chaosSeed, *auditEvery, *crashOut)
+		w := *workers
+		if w == 0 {
+			w = runtime.NumCPU()
+		}
+		runChaos(*chaosSeed, *auditEvery, *crashOut, w)
 		return
 	}
 
@@ -222,21 +228,23 @@ func main() {
 }
 
 // runChaos drives the seeded chaos sweep: the litmus fault matrix
-// first, then a benchmark soak under TUS. On failure it writes the
-// repro bundle and prints the crash report.
-func runChaos(seed, auditEvery uint64, crashOut string) {
+// first, then a benchmark soak under TUS, with cells fanned out over
+// the worker pool (the reported failure is deterministic regardless of
+// worker count). On failure it writes the repro bundle and prints the
+// crash report.
+func runChaos(seed, auditEvery uint64, crashOut string, workers int) {
 	if auditEvery == 0 {
 		auditEvery = 64
 	}
-	fmt.Printf("chaos sweep: seed %#x, auditing every %d cycles\n", seed, auditEvery)
-	res, err := harness.ChaosLitmus(seed, 3, 8, auditEvery)
+	fmt.Printf("chaos sweep: seed %#x, auditing every %d cycles, %d workers\n", seed, auditEvery, workers)
+	res, err := harness.ChaosLitmus(seed, 3, 8, auditEvery, workers)
 	if err != nil {
 		fail(err)
 	}
 	fmt.Printf("litmus matrix: %d runs", res.Runs)
 	if res.Bundle == nil {
 		fmt.Println(" — all clean (TSO checker + auditor)")
-		bres, err := harness.ChaosBench(seed, 4000, auditEvery)
+		bres, err := harness.ChaosBench(seed, 4000, auditEvery, workers)
 		if err != nil {
 			fail(err)
 		}

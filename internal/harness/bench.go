@@ -1,0 +1,94 @@
+package harness
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"time"
+)
+
+// FigTiming is the wall-clock cost of regenerating one figure.
+type FigTiming struct {
+	Name    string  `json:"name"`
+	Seconds float64 `json:"seconds"`
+}
+
+// BenchReport is the perf trajectory record emitted as
+// BENCH_harness.json: per-figure wall-clock, the aggregate simulation
+// time across cells, and the cache hit split. ParallelSpeedup is the
+// ratio of summed per-cell elapsed time to total wall-clock: exactly
+// 1.0 on the serial path, and the realized figure-generation speedup
+// when each worker runs on an otherwise-idle core. Cells are timed by
+// wall clock, so when workers oversubscribe the physical cores the
+// per-cell times absorb descheduled time and the ratio overestimates —
+// compare wall_seconds across -j settings for a ground-truth number.
+type BenchReport struct {
+	HarnessVersion string      `json:"harness_version"`
+	Workers        int         `json:"workers"`
+	NumCPU         int         `json:"num_cpu"`
+	Ops            int         `json:"ops"`
+	ParallelOps    int         `json:"parallel_ops"`
+	Seed           int64       `json:"seed"`
+	Figures        []FigTiming `json:"figures"`
+	WallSeconds    float64     `json:"wall_seconds"`
+	// CellSeconds is simulation time summed over cells actually run
+	// (cache hits contribute nothing).
+	CellSeconds     float64 `json:"cell_seconds"`
+	CellsRun        int     `json:"cells_run"`
+	CellsCached     int     `json:"cells_cached"`
+	ParallelSpeedup float64 `json:"parallel_speedup"`
+}
+
+// BenchRecorder accumulates figure timings around a Runner.
+type BenchRecorder struct {
+	r       *Runner
+	start   time.Time
+	figures []FigTiming
+}
+
+// NewBenchRecorder starts the wall clock for a harness invocation.
+func NewBenchRecorder(r *Runner) *BenchRecorder {
+	return &BenchRecorder{r: r, start: time.Now()}
+}
+
+// Time runs f and records its wall-clock under name.
+func (b *BenchRecorder) Time(name string, f func() error) error {
+	t0 := time.Now()
+	err := f()
+	b.figures = append(b.figures, FigTiming{Name: name, Seconds: time.Since(t0).Seconds()})
+	return err
+}
+
+// Report closes the wall clock and assembles the perf record.
+func (b *BenchRecorder) Report() BenchReport {
+	wall := time.Since(b.start).Seconds()
+	cell := time.Duration(b.r.cellNanos.Load()).Seconds()
+	speedup := 1.0
+	if wall > 0 {
+		speedup = cell / wall
+	}
+	return BenchReport{
+		HarnessVersion:  HarnessVersion,
+		Workers:         b.r.workers(),
+		NumCPU:          runtime.NumCPU(),
+		Ops:             b.r.Ops,
+		ParallelOps:     b.r.ParallelOps,
+		Seed:            b.r.Seed,
+		Figures:         b.figures,
+		WallSeconds:     wall,
+		CellSeconds:     cell,
+		CellsRun:        int(b.r.cellsRun.Load()),
+		CellsCached:     int(b.r.cellsFromC.Load()),
+		ParallelSpeedup: speedup,
+	}
+}
+
+// WriteFile emits the report as indented JSON (the BENCH_harness.json
+// artifact tracked across PRs).
+func (rep BenchReport) WriteFile(path string) error {
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,138 @@
+package harness
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"tusim/internal/config"
+	"tusim/internal/energy"
+	"tusim/internal/stats"
+	"tusim/internal/workload"
+)
+
+// DiskCache is a content-addressed, cross-process result cache: each
+// cell is stored under the hex SHA-256 of everything that determines
+// its outcome (harness version, full machine configuration, benchmark
+// identity, workload seed, trace length, checker attachment). Because
+// the key is derived from content — not from file mtimes or run order —
+// a hit is exactly as trustworthy as a rerun, and any change to the
+// simulator invalidates the whole cache via HarnessVersion.
+//
+// The cache is best-effort: read or write failures (corrupt entries,
+// permission errors, version skew) degrade to a miss and a fresh
+// simulation, never to an error.
+type DiskCache struct {
+	Dir string
+}
+
+// NewDiskCache returns a cache rooted at dir, creating it if needed.
+func NewDiskCache(dir string) (*DiskCache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("harness: cache dir: %w", err)
+	}
+	return &DiskCache{Dir: dir}, nil
+}
+
+// contentKey hashes everything that determines a cell's result.
+func (r *Runner) contentKey(b workload.Benchmark, cfg *config.Config) string {
+	h := sha256.Sum256([]byte(fmt.Sprintf("%s|%s|seed=%d|ops=%d|check=%v|cfg=%+v",
+		HarnessVersion, b.Name, r.Seed, r.ops(b), r.Check, *cfg)))
+	return hex.EncodeToString(h[:])
+}
+
+// cacheEntry is the serialized form of a Result. Stats are stored as
+// parallel name/value slices in counter-creation order so the rebuilt
+// Set formats identically to a live one.
+type cacheEntry struct {
+	Version    string            `json:"version"`
+	Bench      string            `json:"bench"`
+	Mech       string            `json:"mech"`
+	SB         int               `json:"sb"`
+	Cores      int               `json:"cores"`
+	Cycles     uint64            `json:"cycles"`
+	EDP        float64           `json:"edp"`
+	Energy     energy.Breakdown  `json:"energy"`
+	StatPrefix string            `json:"stat_prefix"`
+	StatNames  []string          `json:"stat_names"`
+	StatValues []uint64          `json:"stat_values"`
+}
+
+func (c *DiskCache) path(key string) string {
+	return filepath.Join(c.Dir, key+".json")
+}
+
+// Get loads the cell stored under key, verifying it matches the
+// requested (bench, mech, sb) identity. Any mismatch or decode failure
+// is a miss.
+func (c *DiskCache) Get(key string, b workload.Benchmark, m config.Mechanism, sbSize int) (Result, bool) {
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return Result{}, false
+	}
+	var e cacheEntry
+	if err := json.Unmarshal(data, &e); err != nil {
+		return Result{}, false
+	}
+	if e.Version != HarnessVersion || e.Bench != b.Name || e.Mech != m.String() ||
+		e.SB != sbSize || len(e.StatNames) != len(e.StatValues) || e.Cycles == 0 {
+		return Result{}, false
+	}
+	st := stats.NewSet(e.StatPrefix)
+	for i, name := range e.StatNames {
+		st.Counter(name).Add(e.StatValues[i])
+	}
+	return Result{
+		Bench:  e.Bench,
+		Mech:   m,
+		SB:     e.SB,
+		Cores:  e.Cores,
+		Cycles: e.Cycles,
+		Stats:  st,
+		Energy: e.Energy,
+		EDP:    e.EDP,
+	}, true
+}
+
+// Put stores res under key. Writes go through a temp file + rename so
+// concurrent harness processes never observe a torn entry.
+func (c *DiskCache) Put(key string, res Result) {
+	names := res.Stats.Names()
+	vals := make([]uint64, len(names))
+	for i, n := range names {
+		vals[i] = res.Stats.Get(n)
+	}
+	e := cacheEntry{
+		Version:    HarnessVersion,
+		Bench:      res.Bench,
+		Mech:       res.Mech.String(),
+		SB:         res.SB,
+		Cores:      res.Cores,
+		Cycles:     res.Cycles,
+		EDP:        res.EDP,
+		Energy:     res.Energy,
+		StatPrefix: res.Stats.Prefix(),
+		StatNames:  names,
+		StatValues: vals,
+	}
+	data, err := json.MarshalIndent(&e, "", "  ")
+	if err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(c.Dir, key+".tmp*")
+	if err != nil {
+		return
+	}
+	_, werr := tmp.Write(append(data, '\n'))
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
+		os.Remove(tmp.Name())
+	}
+}

@@ -1,0 +1,158 @@
+package harness
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"tusim/internal/config"
+	"tusim/internal/workload"
+)
+
+func cachedRunner(t *testing.T, dir string) *Runner {
+	t.Helper()
+	cache, err := NewDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewQuickRunner()
+	r.Ops = 2000
+	r.Cache = cache
+	return r
+}
+
+// TestDiskCacheRoundTrip: a second process-equivalent Runner rehydrates
+// the cell from disk — identical cycles, energy, EDP, and stats
+// (including formatting prefix) — without simulating.
+func TestDiskCacheRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	b, _ := workload.ByName("503.bw2")
+
+	cold := cachedRunner(t, dir)
+	want, err := cold.Run(b, config.TUS, 114)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.cellsRun.Load() != 1 || cold.cellsFromC.Load() != 0 {
+		t.Fatalf("cold run accounting: run=%d cached=%d", cold.cellsRun.Load(), cold.cellsFromC.Load())
+	}
+
+	warm := cachedRunner(t, dir)
+	got, err := warm.Run(b, config.TUS, 114)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.cellsRun.Load() != 0 || warm.cellsFromC.Load() != 1 {
+		t.Fatalf("warm run accounting: run=%d cached=%d", warm.cellsRun.Load(), warm.cellsFromC.Load())
+	}
+	if got.Cycles != want.Cycles || got.EDP != want.EDP || got.Energy != want.Energy ||
+		got.Bench != want.Bench || got.Mech != want.Mech || got.SB != want.SB || got.Cores != want.Cores {
+		t.Fatalf("cache hit differs: got %+v want %+v", got, want)
+	}
+	if !reflect.DeepEqual(got.Stats.Snapshot(), want.Stats.Snapshot()) {
+		t.Fatal("cached stats snapshot differs from live run")
+	}
+	if got.Stats.String() != want.Stats.String() {
+		t.Fatal("cached stats format (prefix/order) differs from live run")
+	}
+}
+
+// TestDiskCacheCorruptEntryIsMiss: a torn or garbage entry silently
+// degrades to a recomputation, never an error or a wrong result.
+func TestDiskCacheCorruptEntryIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	b, _ := workload.ByName("503.bw2")
+	cold := cachedRunner(t, dir)
+	want, err := cold.Run(b, config.TUS, 114)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("expected 1 cache entry, got %v (%v)", entries, err)
+	}
+	if err := os.WriteFile(entries[0], []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	warm := cachedRunner(t, dir)
+	got, err := warm.Run(b, config.TUS, 114)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.cellsRun.Load() != 1 {
+		t.Fatal("corrupt entry should have forced a recomputation")
+	}
+	if got.Cycles != want.Cycles {
+		t.Fatalf("recomputed cycles %d != original %d", got.Cycles, want.Cycles)
+	}
+}
+
+// TestContentKeySensitivity: the content hash must move when anything
+// that can change the result moves — mechanism, SB size, seed, trace
+// length, checker attachment, harness version — and must be stable for
+// identical inputs.
+func TestContentKeySensitivity(t *testing.T) {
+	b, _ := workload.ByName("503.bw2")
+	base := NewQuickRunner()
+	cfgOf := func(m config.Mechanism, sb int) *config.Config {
+		return config.Default().WithMechanism(m).WithSB(sb).WithCores(b.Threads)
+	}
+	ref := base.contentKey(b, cfgOf(config.TUS, 114))
+	if ref != base.contentKey(b, cfgOf(config.TUS, 114)) {
+		t.Fatal("content key is not stable")
+	}
+	variants := map[string]string{}
+	variants["mech"] = base.contentKey(b, cfgOf(config.CSB, 114))
+	variants["sb"] = base.contentKey(b, cfgOf(config.TUS, 32))
+	seeded := NewQuickRunner()
+	seeded.Seed = 99
+	variants["seed"] = seeded.contentKey(b, cfgOf(config.TUS, 114))
+	longer := NewQuickRunner()
+	longer.Ops = base.Ops * 2
+	variants["ops"] = longer.contentKey(b, cfgOf(config.TUS, 114))
+	checked := NewQuickRunner()
+	checked.Check = true
+	variants["check"] = checked.contentKey(b, cfgOf(config.TUS, 114))
+	other, _ := workload.ByName("502.gcc1")
+	variants["bench"] = base.contentKey(other, cfgOf(config.TUS, 114))
+	seen := map[string]string{ref: "ref"}
+	for what, key := range variants {
+		if prev, dup := seen[key]; dup {
+			t.Fatalf("content key for %q collides with %q", what, prev)
+		}
+		seen[key] = what
+	}
+}
+
+// TestDiskCacheParallelSharing: a parallel figure run against a warm
+// cache simulates nothing.
+func TestDiskCacheParallelSharing(t *testing.T) {
+	dir := t.TempDir()
+	benchs := workload.SBBound()[:2]
+	var cells []Cell
+	for _, b := range benchs {
+		for _, m := range config.Mechanisms {
+			cells = append(cells, Cell{b, m, 114})
+		}
+	}
+	cold := cachedRunner(t, dir)
+	cold.Workers = 4
+	if err := cold.Prefetch(cells); err != nil {
+		t.Fatal(err)
+	}
+	if got := int(cold.cellsRun.Load()); got != len(cells) {
+		t.Fatalf("cold prefetch ran %d cells, want %d", got, len(cells))
+	}
+	warm := cachedRunner(t, dir)
+	warm.Workers = 4
+	if err := warm.Prefetch(cells); err != nil {
+		t.Fatal(err)
+	}
+	if got := warm.cellsRun.Load(); got != 0 {
+		t.Fatalf("warm prefetch simulated %d cells, want 0", got)
+	}
+	if got := int(warm.cellsFromC.Load()); got != len(cells) {
+		t.Fatalf("warm prefetch loaded %d cells from cache, want %d", got, len(cells))
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"sync"
+	"sync/atomic"
 
 	"tusim/internal/audit"
 	"tusim/internal/config"
@@ -170,83 +172,157 @@ type ChaosResult struct {
 	Err error
 }
 
+// runMatrix executes n independent cells through a workers-wide pool
+// and returns the lowest failing cell index plus its error (-1, nil on
+// a clean sweep). Workers claim indices in order and a failure stops
+// further claims, so every index below the claimed ones has already
+// started: the minimum failing index — and therefore the reported
+// failure and run count — is identical to the serial sweep's.
+func runMatrix(workers, n int, run func(int) error) (int, error) {
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			if err := run(i); err != nil {
+				return i, err
+			}
+		}
+		return -1, nil
+	}
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	next.Store(-1)
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !failed.Load() {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				if err := run(i); err != nil {
+					errs[i] = err
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return i, err
+		}
+	}
+	return -1, nil
+}
+
 // ChaosLitmus sweeps the litmus chaos matrix: every mechanism ×
 // ChaosPatterns × schedules derived fault plans × skews start offsets,
-// each under the TSO checker and the invariant auditor. It stops at
-// the first failure with a repro bundle; a clean sweep returns
-// Bundle == nil.
-func ChaosLitmus(seed uint64, schedules, skews int, auditEvery uint64) (ChaosResult, error) {
+// each under the TSO checker and the invariant auditor, fanned out over
+// a workers-wide pool (<= 1 means serial). It stops at the first
+// failure (in deterministic matrix order) with a repro bundle; a clean
+// sweep returns Bundle == nil.
+func ChaosLitmus(seed uint64, schedules, skews int, auditEvery uint64, workers int) (ChaosResult, error) {
 	res := ChaosResult{Injected: true}
 	tests := map[string]litmus.Test{}
 	for _, t := range litmus.Tests() {
 		tests[t.Name] = t
 	}
-	for mi, m := range config.Mechanisms {
+	type chaosCell struct {
+		mi, pi, si, skew int
+		test             litmus.Test
+	}
+	var cells []chaosCell
+	for mi := range config.Mechanisms {
 		for pi, name := range ChaosPatterns {
 			test, ok := tests[name]
 			if !ok {
 				return res, fmt.Errorf("harness: unknown chaos pattern %q", name)
 			}
 			for si := 0; si < schedules; si++ {
-				plan := faults.Schedule(faults.MixSeed(seed, uint64(mi), uint64(pi), uint64(si)))
 				for skew := 0; skew < skews; skew++ {
-					obs, err := litmus.RunOne(test, m, skew, litmus.Opts{
-						Faults:     &plan,
-						AuditEvery: auditEvery,
-					})
-					res.Runs++
-					if err == nil && test.Forbidden != nil && test.Forbidden(obs) {
-						err = fmt.Errorf("harness: TSO-forbidden outcome %v in %s/%v skew %d under faults",
-							obs, test.Name, m, skew)
-					}
-					if err != nil {
-						res.Err = err
-						res.Bundle = &ReproBundle{
-							Kind:       "litmus",
-							Name:       test.Name,
-							Mechanism:  m.String(),
-							Skew:       skew,
-							AuditEvery: auditEvery,
-							Faults:     plan,
-						}
-						var cr *system.CrashReport
-						if errors.As(err, &cr) {
-							res.Bundle.Report = cr
-						}
-						return res, nil
-					}
+					cells = append(cells, chaosCell{mi, pi, si, skew, test})
 				}
 			}
 		}
+	}
+	// cellPlan rederives the seeded plan from the cell coordinates, so
+	// each concurrent run owns a private Plan.
+	cellPlan := func(c chaosCell) faults.Plan {
+		return faults.Schedule(faults.MixSeed(seed, uint64(c.mi), uint64(c.pi), uint64(c.si)))
+	}
+	failIdx, failErr := runMatrix(workers, len(cells), func(i int) error {
+		c := cells[i]
+		m := config.Mechanisms[c.mi]
+		plan := cellPlan(c)
+		obs, err := litmus.RunOne(c.test, m, c.skew, litmus.Opts{
+			Faults:     &plan,
+			AuditEvery: auditEvery,
+		})
+		if err == nil && c.test.Forbidden != nil && c.test.Forbidden(obs) {
+			err = fmt.Errorf("harness: TSO-forbidden outcome %v in %s/%v skew %d under faults",
+				obs, c.test.Name, m, c.skew)
+		}
+		return err
+	})
+	if failIdx < 0 {
+		res.Runs = len(cells)
+		return res, nil
+	}
+	c := cells[failIdx]
+	res.Runs = failIdx + 1
+	res.Err = failErr
+	res.Bundle = &ReproBundle{
+		Kind:       "litmus",
+		Name:       c.test.Name,
+		Mechanism:  config.Mechanisms[c.mi].String(),
+		Skew:       c.skew,
+		AuditEvery: auditEvery,
+		Faults:     cellPlan(c),
+	}
+	var cr *system.CrashReport
+	if errors.As(failErr, &cr) {
+		res.Bundle.Report = cr
 	}
 	return res, nil
 }
 
 // ChaosBench runs each SB-bound benchmark once under TUS with a
-// seed-derived fault plan (the deeper soak behind `tusim -chaos-seed`).
-func ChaosBench(seed uint64, ops int, auditEvery uint64) (ChaosResult, error) {
+// seed-derived fault plan (the deeper soak behind `tusim -chaos-seed`),
+// fanned out over a workers-wide pool.
+func ChaosBench(seed uint64, ops int, auditEvery uint64, workers int) (ChaosResult, error) {
 	res := ChaosResult{Injected: true}
-	for bi, b := range workload.SBBound() {
-		plan := faults.Schedule(faults.MixSeed(seed, 0xBE9C4, uint64(bi)))
-		_, err := RunChaosBench(b, config.TUS, int64(seed), ops, 0, plan, auditEvery, 0)
-		res.Runs++
-		if err != nil {
-			res.Err = err
-			res.Bundle = &ReproBundle{
-				Kind:       "bench",
-				Name:       b.Name,
-				Mechanism:  config.TUS.String(),
-				Seed:       int64(seed),
-				Ops:        ops,
-				AuditEvery: auditEvery,
-				Faults:     plan,
-			}
-			var cr *system.CrashReport
-			if errors.As(err, &cr) {
-				res.Bundle.Report = cr
-			}
-			return res, nil
-		}
+	benchs := workload.SBBound()
+	cellPlan := func(bi int) faults.Plan {
+		return faults.Schedule(faults.MixSeed(seed, 0xBE9C4, uint64(bi)))
+	}
+	failIdx, failErr := runMatrix(workers, len(benchs), func(bi int) error {
+		plan := cellPlan(bi)
+		_, err := RunChaosBench(benchs[bi], config.TUS, int64(seed), ops, 0, plan, auditEvery, 0)
+		return err
+	})
+	if failIdx < 0 {
+		res.Runs = len(benchs)
+		return res, nil
+	}
+	res.Runs = failIdx + 1
+	res.Err = failErr
+	res.Bundle = &ReproBundle{
+		Kind:       "bench",
+		Name:       benchs[failIdx].Name,
+		Mechanism:  config.TUS.String(),
+		Seed:       int64(seed),
+		Ops:        ops,
+		AuditEvery: auditEvery,
+		Faults:     cellPlan(failIdx),
+	}
+	var cr *system.CrashReport
+	if errors.As(failErr, &cr) {
+		res.Bundle.Report = cr
 	}
 	return res, nil
 }

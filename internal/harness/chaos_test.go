@@ -21,7 +21,7 @@ func TestChaosFuzzMatrix(t *testing.T) {
 		t.Skip("chaos fuzz matrix skipped in -short")
 	}
 	for _, seed := range []uint64{7, 21} {
-		res, err := ChaosLitmus(seed, 3, 8, 64)
+		res, err := ChaosLitmus(seed, 3, 8, 64, 4)
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -139,7 +139,7 @@ func TestChaosBenchSoak(t *testing.T) {
 	if testing.Short() {
 		t.Skip("chaos bench soak skipped in -short")
 	}
-	res, err := ChaosBench(7, 1500, 64)
+	res, err := ChaosBench(7, 1500, 64, 4)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -24,6 +24,11 @@ type DSEPoint struct {
 // workload. The paper's conclusions to check: 64 WOQ entries and 2
 // WCBs are cost-effective, and group lengths beyond 8 stop mattering
 // for sequential applications.
+//
+// The sweep points mutate the machine configuration, so they bypass the
+// Runner's cell cache; each point simulates a private system, and the
+// whole sweep (default + every point) fans out to the worker pool with
+// results merged back in fixed sweep order.
 func DSE(r *Runner, benchName string) ([]DSEPoint, error) {
 	b, ok := workload.ByName(benchName)
 	if !ok {
@@ -43,49 +48,50 @@ func DSE(r *Runner, benchName string) ([]DSEPoint, error) {
 		return sys.Cycles, nil
 	}
 
-	base, err := run(func(*config.Config) {})
+	type spec struct {
+		label string
+		mut   func(*config.Config)
+	}
+	specs := []spec{{"default", func(*config.Config) {}}}
+	for _, n := range []int{16, 32, 64, 128} {
+		n := n
+		specs = append(specs, spec{fmt.Sprintf("WOQ=%d", n), func(c *config.Config) { c.WOQEntries = n }})
+	}
+	for _, n := range []int{1, 2, 4} {
+		n := n
+		specs = append(specs, spec{fmt.Sprintf("WCBs=%d", n), func(c *config.Config) { c.WCBCount = n }})
+	}
+	for _, n := range []int{4, 8, 16, 32} {
+		n := n
+		specs = append(specs, spec{fmt.Sprintf("maxGroup=%d", n), func(c *config.Config) { c.MaxAtomicGroup = n }})
+	}
+	specs = append(specs,
+		spec{"no-coalescing", func(c *config.Config) { c.TUSCoalesce = false }},
+		spec{"no-prefetch-at-commit", func(c *config.Config) { c.PrefetchAtCommit = false }},
+	)
+
+	cycles := make([]uint64, len(specs))
+	err := r.parmap(len(specs), func(i int) error {
+		cyc, err := run(specs[i].mut)
+		if err != nil {
+			return fmt.Errorf("harness: DSE %s: %w", specs[i].label, err)
+		}
+		cycles[i] = cyc
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
 
-	var out []DSEPoint
-	add := func(label string, mut func(*config.Config)) error {
-		cyc, err := run(mut)
-		if err != nil {
-			return fmt.Errorf("harness: DSE %s: %w", label, err)
-		}
+	base := cycles[0]
+	out := make([]DSEPoint, 0, len(specs)-1)
+	for i, s := range specs[1:] {
 		out = append(out, DSEPoint{
-			Label:            label,
+			Label:            s.label,
 			Bench:            benchName,
-			Cycles:           cyc,
-			SpeedupVsDefault: float64(base) / float64(cyc),
+			Cycles:           cycles[i+1],
+			SpeedupVsDefault: float64(base) / float64(cycles[i+1]),
 		})
-		return nil
-	}
-
-	for _, n := range []int{16, 32, 64, 128} {
-		n := n
-		if err := add(fmt.Sprintf("WOQ=%d", n), func(c *config.Config) { c.WOQEntries = n }); err != nil {
-			return nil, err
-		}
-	}
-	for _, n := range []int{1, 2, 4} {
-		n := n
-		if err := add(fmt.Sprintf("WCBs=%d", n), func(c *config.Config) { c.WCBCount = n }); err != nil {
-			return nil, err
-		}
-	}
-	for _, n := range []int{4, 8, 16, 32} {
-		n := n
-		if err := add(fmt.Sprintf("maxGroup=%d", n), func(c *config.Config) { c.MaxAtomicGroup = n }); err != nil {
-			return nil, err
-		}
-	}
-	if err := add("no-coalescing", func(c *config.Config) { c.TUSCoalesce = false }); err != nil {
-		return nil, err
-	}
-	if err := add("no-prefetch-at-commit", func(c *config.Config) { c.PrefetchAtCommit = false }); err != nil {
-		return nil, err
 	}
 	return out, nil
 }

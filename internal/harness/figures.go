@@ -13,6 +13,12 @@ import (
 // SBSizes are the store buffer sizes of the scalability study (Fig. 8).
 var SBSizes = []int{32, 64, 114}
 
+// Each figure builder first enumerates its full cell list and hands it
+// to Runner.Prefetch, which fans the cells out to the worker pool; the
+// assembly loops below then read every cell from the in-process cache
+// in the same deterministic order as the original serial harness, so
+// output is byte-identical at any worker count.
+
 // Fig8Row is one (suite, SB size) series of geomean speedups relative
 // to the 114-entry-SB baseline.
 type Fig8Row struct {
@@ -41,6 +47,20 @@ func Fig8(r *Runner) ([]Fig8Row, error) {
 		{"TF", tf},
 		{"Parsec", workload.BySuite(workload.Parsec)},
 	}
+	var cells []Cell
+	for _, s := range suites {
+		for _, b := range s.benchs {
+			cells = append(cells, Cell{b, config.Baseline, 114})
+			for _, sb := range SBSizes {
+				for _, m := range config.Mechanisms {
+					cells = append(cells, Cell{b, m, sb})
+				}
+			}
+		}
+	}
+	if err := r.Prefetch(cells); err != nil {
+		return nil, err
+	}
 	var rows []Fig8Row
 	for _, s := range suites {
 		for _, sb := range SBSizes {
@@ -58,7 +78,11 @@ func Fig8(r *Runner) ([]Fig8Row, error) {
 					}
 					sp = append(sp, Speedup(res, base))
 				}
-				row.Speedup[m] = Geomean(sp)
+				gm, err := Geomean(sp)
+				if err != nil {
+					return nil, fmt.Errorf("fig8 %s/SB=%d/%v: %w", s.name, sb, m, err)
+				}
+				row.Speedup[m] = gm
 			}
 			rows = append(rows, row)
 		}
@@ -89,9 +113,26 @@ type Fig9Row struct {
 	Stalls map[config.Mechanism]float64 // % of cycles
 }
 
+// fullMatrix enumerates benchs × mechanisms at mechSB plus the baseline
+// at baseSB — the cell set shared by the stall, speedup, and EDP
+// studies.
+func fullMatrix(benchs []workload.Benchmark, baseSB, mechSB int) []Cell {
+	var cells []Cell
+	for _, b := range benchs {
+		cells = append(cells, Cell{b, config.Baseline, baseSB})
+		for _, m := range config.Mechanisms {
+			cells = append(cells, Cell{b, m, mechSB})
+		}
+	}
+	return cells
+}
+
 // Fig9 regenerates the SB-induced dispatch stall breakdown (114 SB,
 // single-threaded SB-bound set, sorted by baseline stalls).
 func Fig9(r *Runner) ([]Fig9Row, error) {
+	if err := r.Prefetch(fullMatrix(workload.SBBound(), 114, 114)); err != nil {
+		return nil, err
+	}
 	benchs, err := r.sbBoundSorted(114)
 	if err != nil {
 		return nil, err
@@ -166,6 +207,9 @@ func Speedups(r *Runner, baselineSB, mechSB int) (*SpeedupStudy, error) {
 		Geomean:    map[config.Mechanism]float64{},
 	}
 	all := workload.All()
+	if err := r.Prefetch(fullMatrix(all, baselineSB, mechSB)); err != nil {
+		return nil, err
+	}
 	for _, m := range config.Mechanisms {
 		var sp []float64
 		for _, b := range all {
@@ -179,7 +223,11 @@ func Speedups(r *Runner, baselineSB, mechSB int) (*SpeedupStudy, error) {
 			}
 			sp = append(sp, Speedup(res, base))
 		}
-		study.SCurves[m] = SCurve(sp)
+		curve, err := SCurve(sp)
+		if err != nil {
+			return nil, fmt.Errorf("speedups %d/%d %v: %w", baselineSB, mechSB, m, err)
+		}
+		study.SCurves[m] = curve
 	}
 	benchs, err := r.sbBoundSorted(baselineSB)
 	if err != nil {
@@ -203,7 +251,11 @@ func Speedups(r *Runner, baselineSB, mechSB int) (*SpeedupStudy, error) {
 		study.Breakdown = append(study.Breakdown, row)
 	}
 	for m, xs := range gm {
-		study.Geomean[m] = Geomean(xs)
+		g, err := Geomean(xs)
+		if err != nil {
+			return nil, fmt.Errorf("speedups %d/%d %v: %w", baselineSB, mechSB, m, err)
+		}
+		study.Geomean[m] = g
 	}
 	return study, nil
 }
@@ -263,6 +315,9 @@ func EDP(r *Runner, benchs []workload.Benchmark, baselineSB, mechSB int) (*EDPSt
 		MechSB:     mechSB,
 		Geomean:    map[config.Mechanism]float64{},
 	}
+	if err := r.Prefetch(fullMatrix(benchs, baselineSB, mechSB)); err != nil {
+		return nil, err
+	}
 	gm := map[config.Mechanism][]float64{}
 	for _, b := range benchs {
 		base, err := r.Run(b, config.Baseline, baselineSB)
@@ -281,7 +336,11 @@ func EDP(r *Runner, benchs []workload.Benchmark, baselineSB, mechSB int) (*EDPSt
 		study.Rows = append(study.Rows, row)
 	}
 	for m, xs := range gm {
-		study.Geomean[m] = Geomean(xs)
+		g, err := Geomean(xs)
+		if err != nil {
+			return nil, fmt.Errorf("edp %d/%d %v: %w", baselineSB, mechSB, m, err)
+		}
+		study.Geomean[m] = g
 	}
 	return study, nil
 }
@@ -318,6 +377,9 @@ type ParsecStudy struct {
 // Parsec regenerates Fig. 12 (baselineSB=114) or Fig. 14 (32).
 func Parsec(r *Runner, baselineSB, mechSB int) (*ParsecStudy, error) {
 	benchs := workload.BySuite(workload.Parsec)
+	if err := r.Prefetch(fullMatrix(benchs, baselineSB, mechSB)); err != nil {
+		return nil, err
+	}
 	sp := &EDPStudy{BaselineSB: baselineSB, MechSB: mechSB, Geomean: map[config.Mechanism]float64{}}
 	gm := map[config.Mechanism][]float64{}
 	for _, b := range benchs {
@@ -337,7 +399,11 @@ func Parsec(r *Runner, baselineSB, mechSB int) (*ParsecStudy, error) {
 		sp.Rows = append(sp.Rows, row)
 	}
 	for m, xs := range gm {
-		sp.Geomean[m] = Geomean(xs)
+		g, err := Geomean(xs)
+		if err != nil {
+			return nil, fmt.Errorf("parsec %d/%d %v: %w", baselineSB, mechSB, m, err)
+		}
+		sp.Geomean[m] = g
 	}
 	edp, err := EDP(r, benchs, baselineSB, mechSB)
 	if err != nil {

@@ -1,0 +1,122 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tusim/internal/workload"
+)
+
+var update = flag.Bool("update", false, "regenerate golden figure snapshots in testdata/")
+
+// goldenRunner pins the scale the snapshots were generated at. Changing
+// it invalidates every golden file (regenerate with `go test
+// ./internal/harness -run TestGoldenFigures -update`).
+func goldenRunner() *Runner {
+	r := NewQuickRunner()
+	r.Ops = 2500
+	r.ParallelOps = 300
+	r.Workers = 4 // the snapshots must also pin the parallel path
+	return r
+}
+
+// TestGoldenFigures locks the harness output byte-for-byte: any future
+// refactor — parallelism, caching, mechanism tweaks — that perturbs a
+// figure fails against these committed snapshots instead of silently
+// drifting the paper's numbers. The six snapshots cover both SB
+// operating points (114 and 32 entries), the scalability sweep, the
+// stall breakdown, and both Parsec panel pairs.
+func TestGoldenFigures(t *testing.T) {
+	r := goldenRunner()
+	cases := []struct {
+		name  string
+		build func() (any, error)
+	}{
+		{"fig8", func() (any, error) {
+			rows, err := Fig8(r)
+			if err != nil {
+				return nil, err
+			}
+			out := make([]Fig8JSON, 0, len(rows))
+			for _, row := range rows {
+				out = append(out, Fig8JSON{Suite: row.Suite, SB: row.SB, Speedups: mechMap(row.Speedup)})
+			}
+			return out, nil
+		}},
+		{"fig9", func() (any, error) {
+			rows, err := Fig9(r)
+			if err != nil {
+				return nil, err
+			}
+			out := make([]Fig9JSON, 0, len(rows))
+			for _, row := range rows {
+				out = append(out, Fig9JSON{Bench: row.Bench, Stalls: mechMap(row.Stalls)})
+			}
+			return out, nil
+		}},
+		{"fig12", func() (any, error) {
+			p, err := Parsec(r, 114, 114)
+			if err != nil {
+				return nil, err
+			}
+			return &ParsecJSON{Speedup: edpJSON(p.Speedup), EDP: edpJSON(p.EDP)}, nil
+		}},
+		{"fig13", func() (any, error) {
+			s, err := Speedups(r, 32, 32)
+			if err != nil {
+				return nil, err
+			}
+			return speedupsJSON(s), nil
+		}},
+		{"fig14", func() (any, error) {
+			p, err := Parsec(r, 32, 32)
+			if err != nil {
+				return nil, err
+			}
+			return &ParsecJSON{Speedup: edpJSON(p.Speedup), EDP: edpJSON(p.EDP)}, nil
+		}},
+		{"fig15", func() (any, error) {
+			s, err := EDP(r, workload.SBBound(), 32, 32)
+			if err != nil {
+				return nil, err
+			}
+			return edpJSON(s), nil
+		}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			v, err := tc.build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := json.MarshalIndent(v, "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, '\n')
+			path := filepath.Join("testdata", tc.name+".golden.json")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("wrote %s (%d bytes)", path, len(got))
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden snapshot (regenerate with -update): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("%s drifted from its golden snapshot.\nIf the change is intended, regenerate with:\n  go test ./internal/harness -run TestGoldenFigures -update\ngot %d bytes, want %d bytes", tc.name, len(got), len(want))
+			}
+		})
+	}
+}

@@ -2,12 +2,23 @@
 // proxies under every store-handling mechanism and SB size, collects
 // cycles/stats/energy, and regenerates each figure of Sec. VI as a
 // text table (see DESIGN.md's experiment index).
+//
+// Every figure is an aggregate over independent (benchmark, mechanism,
+// SB size) simulation cells, so the Runner fans cells out to a
+// Workers-bounded goroutine pool and merges results back in
+// deterministic cell order: each cell simulates a private system with
+// private stats, so figure output is byte-identical to the serial path
+// regardless of worker count (the golden + determinism tests pin this).
 package harness
 
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"tusim/internal/config"
 	"tusim/internal/energy"
@@ -16,6 +27,11 @@ import (
 	"tusim/internal/tso"
 	"tusim/internal/workload"
 )
+
+// HarnessVersion keys the persistent result cache: bump it whenever a
+// change anywhere in the simulator can alter cell results, so stale
+// cache entries from older binaries can never masquerade as fresh runs.
+const HarnessVersion = "tusim-harness-3"
 
 // Result captures one simulation run.
 type Result struct {
@@ -35,6 +51,13 @@ func (r Result) SBStallPct() float64 {
 	return 100 * float64(r.Stats.Get("stall_sb")) / float64(r.Cycles) / float64(r.Cores)
 }
 
+// Cell identifies one independent simulation of the evaluation matrix.
+type Cell struct {
+	Bench workload.Benchmark
+	Mech  config.Mechanism
+	SB    int
+}
+
 // Runner executes and memoizes simulation runs.
 type Runner struct {
 	// Ops is the trace length per thread.
@@ -47,8 +70,29 @@ type Runner struct {
 	Check bool
 	// Verbose prints each run as it completes.
 	Verbose bool
+	// Workers bounds concurrent cell simulations: 0 picks
+	// runtime.NumCPU(), 1 is the serial path. Results are identical at
+	// every setting; Workers only changes wall-clock time.
+	Workers int
+	// Cache, when non-nil, persists results across processes keyed by
+	// the content hash of (harness version, config, workload identity).
+	Cache *DiskCache
 
-	cache map[string]Result
+	mu    sync.Mutex
+	cells map[string]*cell
+
+	// Perf accounting for the BENCH_harness.json emitter.
+	cellNanos  atomic.Int64
+	cellsRun   atomic.Int64
+	cellsFromC atomic.Int64
+}
+
+// cell is a singleflight slot: the first goroutine to claim a key
+// simulates it; everyone else blocks on done and shares the result.
+type cell struct {
+	done chan struct{}
+	res  Result
+	err  error
 }
 
 // NewRunner returns a runner with the default experiment scale.
@@ -68,16 +112,56 @@ func (r *Runner) ops(b workload.Benchmark) int {
 	return r.Ops
 }
 
+// workers resolves the effective pool width.
+func (r *Runner) workers() int {
+	if r.Workers > 0 {
+		return r.Workers
+	}
+	return runtime.NumCPU()
+}
+
 // Run simulates benchmark b under mechanism m with the given SB size.
+// It is safe for concurrent use: identical cells are de-duplicated so
+// exactly one simulation runs per key per process.
 func (r *Runner) Run(b workload.Benchmark, m config.Mechanism, sbSize int) (Result, error) {
 	key := fmt.Sprintf("%s/%v/%d", b.Name, m, sbSize)
-	if r.cache == nil {
-		r.cache = make(map[string]Result)
+	r.mu.Lock()
+	if r.cells == nil {
+		r.cells = make(map[string]*cell)
 	}
-	if res, ok := r.cache[key]; ok {
-		return res, nil
+	c, inflight := r.cells[key]
+	if !inflight {
+		c = &cell{done: make(chan struct{})}
+		r.cells[key] = c
+	}
+	r.mu.Unlock()
+	if inflight {
+		<-c.done
+		return c.res, c.err
+	}
+	c.res, c.err = r.compute(b, m, sbSize, key)
+	close(c.done)
+	return c.res, c.err
+}
+
+// compute performs the actual simulation (or persistent-cache load)
+// behind Run's singleflight gate.
+func (r *Runner) compute(b workload.Benchmark, m config.Mechanism, sbSize int, key string) (Result, error) {
+	if !b.Valid() {
+		return Result{}, fmt.Errorf("harness: %s: unknown or zero-value benchmark", key)
 	}
 	cfg := config.Default().WithMechanism(m).WithSB(sbSize).WithCores(b.Threads)
+	ckey := r.contentKey(b, cfg)
+	if r.Cache != nil {
+		if res, ok := r.Cache.Get(ckey, b, m, sbSize); ok {
+			r.cellsFromC.Add(1)
+			if r.Verbose {
+				fmt.Printf("  hit %-28s cycles=%-10d (cache)\n", key, res.Cycles)
+			}
+			return res, nil
+		}
+	}
+	start := time.Now()
 	sys, err := system.New(cfg, b.Streams(r.Seed, r.ops(b)))
 	if err != nil {
 		return Result{}, fmt.Errorf("harness: %s: %w", key, err)
@@ -112,47 +196,168 @@ func (r *Runner) Run(b workload.Benchmark, m config.Mechanism, sbSize int) (Resu
 		Energy: model.Energy(st, sys.Cycles),
 		EDP:    model.EDP(st, sys.Cycles),
 	}
-	r.cache[key] = res
+	r.cellNanos.Add(int64(time.Since(start)))
+	r.cellsRun.Add(1)
+	if r.Cache != nil {
+		r.Cache.Put(ckey, res)
+	}
 	if r.Verbose {
 		fmt.Printf("  ran %-28s cycles=%-10d sbstall=%5.1f%%\n", key, res.Cycles, res.SBStallPct())
 	}
 	return res, nil
 }
 
+// Prefetch simulates the given cells through the worker pool, filling
+// the in-process cache so subsequent Run calls return instantly. The
+// figure builders call it with their full cell list and then assemble
+// output serially in deterministic order, which is what makes the
+// parallel path byte-identical to the serial one. The returned error is
+// the first failing cell in list order (deterministic regardless of
+// completion order); with Workers <= 1 cells run serially in order and
+// Prefetch stops at the first failure, exactly like the pre-parallel
+// harness.
+func (r *Runner) Prefetch(cells []Cell) error {
+	w := r.workers()
+	if w <= 1 || len(cells) <= 1 {
+		for _, c := range cells {
+			if _, err := r.Run(c.Bench, c.Mech, c.SB); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, len(cells))
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	if w > len(cells) {
+		w = len(cells)
+	}
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= len(cells) {
+					return
+				}
+				_, errs[i] = r.Run(cells[i].Bench, cells[i].Mech, cells[i].SB)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// parmap runs f(0..n-1) through the worker pool and returns the error
+// with the lowest index (deterministic first failure). With one worker
+// it degrades to a plain serial loop that stops at the first error.
+func (r *Runner) parmap(n int, f func(int) error) error {
+	return parmap(r.workers(), n, f)
+}
+
+func parmap(workers, n int, f func(int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			if err := f(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				errs[i] = f(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Speedup returns base.Cycles / res.Cycles.
 func Speedup(res, base Result) float64 { return float64(base.Cycles) / float64(res.Cycles) }
 
-// Geomean computes the geometric mean of xs (1.0 when empty).
-func Geomean(xs []float64) float64 {
+// Geomean computes the geometric mean of xs. It fails loudly instead of
+// silently laundering bad data: an empty slice, a NaN/Inf, or a
+// non-positive element (whose log is undefined) all return an error so
+// a perf refactor that perturbs figure inputs cannot hide inside an
+// aggregate.
+func Geomean(xs []float64) (float64, error) {
 	if len(xs) == 0 {
-		return 1
+		return 0, fmt.Errorf("harness: geomean of empty input")
 	}
 	s := 0.0
-	for _, x := range xs {
+	for i, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) || x <= 0 {
+			return 0, fmt.Errorf("harness: geomean input %d is %v (want finite > 0)", i, x)
+		}
 		s += math.Log(x)
 	}
-	return math.Exp(s / float64(len(xs)))
+	return math.Exp(s / float64(len(xs))), nil
 }
 
 // SCurve returns speedups sorted ascending (Figs. 10/13 left panels).
-func SCurve(xs []float64) []float64 {
+// NaN elements have no defined sort position, so any NaN input is an
+// error rather than a silently mis-sorted curve.
+func SCurve(xs []float64) ([]float64, error) {
 	out := make([]float64, len(xs))
 	copy(out, xs)
+	for i, x := range out {
+		if math.IsNaN(x) {
+			return nil, fmt.Errorf("harness: s-curve input %d is NaN", i)
+		}
+	}
 	sort.Float64s(out)
-	return out
+	return out, nil
 }
 
-// sbBoundSorted returns the ST SB-bound set sorted by baseline SB-stall
-// fraction at the given SB size (the paper sorts its per-benchmark bars
-// this way).
-func (r *Runner) sbBoundSorted(sb int) ([]workload.Benchmark, error) {
-	set := workload.SBBound()
+// SortByBaselineStalls returns benchs sorted by baseline SB-stall
+// fraction (descending) at the given SB size — the paper sorts its
+// per-benchmark bars this way. An empty input returns an empty,
+// non-nil slice; an invalid benchmark surfaces Run's error.
+func (r *Runner) SortByBaselineStalls(benchs []workload.Benchmark, sb int) ([]workload.Benchmark, error) {
 	type kv struct {
 		b workload.Benchmark
 		s float64
 	}
-	kvs := make([]kv, 0, len(set))
-	for _, b := range set {
+	cells := make([]Cell, len(benchs))
+	for i, b := range benchs {
+		cells[i] = Cell{b, config.Baseline, sb}
+	}
+	if err := r.Prefetch(cells); err != nil {
+		return nil, err
+	}
+	kvs := make([]kv, 0, len(benchs))
+	for _, b := range benchs {
 		res, err := r.Run(b, config.Baseline, sb)
 		if err != nil {
 			return nil, err
@@ -165,4 +370,10 @@ func (r *Runner) sbBoundSorted(sb int) ([]workload.Benchmark, error) {
 		out[i] = x.b
 	}
 	return out, nil
+}
+
+// sbBoundSorted sorts the ST SB-bound set by baseline SB-stall
+// fraction at the given SB size.
+func (r *Runner) sbBoundSorted(sb int) ([]workload.Benchmark, error) {
+	return r.SortByBaselineStalls(workload.SBBound(), sb)
 }

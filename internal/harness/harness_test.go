@@ -10,25 +10,54 @@ import (
 )
 
 func TestGeomean(t *testing.T) {
-	if g := Geomean(nil); g != 1 {
-		t.Fatalf("Geomean(nil) = %f", g)
+	if g, err := Geomean([]float64{4, 1}); err != nil || math.Abs(g-2) > 1e-9 {
+		t.Fatalf("Geomean(4,1) = %f, %v, want 2", g, err)
 	}
-	if g := Geomean([]float64{4, 1}); math.Abs(g-2) > 1e-9 {
-		t.Fatalf("Geomean(4,1) = %f, want 2", g)
+	if g, err := Geomean([]float64{2, 2, 2}); err != nil || math.Abs(g-2) > 1e-9 {
+		t.Fatalf("Geomean(2,2,2) = %f, %v", g, err)
 	}
-	if g := Geomean([]float64{2, 2, 2}); math.Abs(g-2) > 1e-9 {
-		t.Fatalf("Geomean(2,2,2) = %f", g)
+}
+
+// TestGeomeanRejectsBadInput pins the loud-failure contract: empty,
+// NaN, infinite, and non-positive inputs are errors, never a silently
+// plausible aggregate.
+func TestGeomeanRejectsBadInput(t *testing.T) {
+	cases := map[string][]float64{
+		"empty":    nil,
+		"nan":      {1.0, math.NaN(), 2.0},
+		"inf":      {1.0, math.Inf(1)},
+		"zero":     {1.0, 0},
+		"negative": {1.0, -2.5},
+	}
+	for name, xs := range cases {
+		if g, err := Geomean(xs); err == nil {
+			t.Fatalf("Geomean(%s=%v) = %f, want error", name, xs, g)
+		}
 	}
 }
 
 func TestSCurveSorted(t *testing.T) {
 	in := []float64{1.3, 0.9, 1.1}
-	out := SCurve(in)
+	out, err := SCurve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if out[0] != 0.9 || out[2] != 1.3 {
 		t.Fatalf("SCurve = %v", out)
 	}
 	if in[0] != 1.3 {
 		t.Fatal("SCurve mutated its input")
+	}
+	if empty, err := SCurve(nil); err != nil || len(empty) != 0 {
+		t.Fatalf("SCurve(nil) = %v, %v; want empty, nil", empty, err)
+	}
+}
+
+// TestSCurveRejectsNaN: a NaN has no sort position, so the curve must
+// fail rather than render a mis-sorted panel.
+func TestSCurveRejectsNaN(t *testing.T) {
+	if out, err := SCurve([]float64{1.0, math.NaN()}); err == nil {
+		t.Fatalf("SCurve with NaN = %v, want error", out)
 	}
 }
 

@@ -95,59 +95,114 @@ func edpJSON(s *EDPStudy) *EDPJSON {
 	return out
 }
 
-// WriteJSON runs the full evaluation and writes it as indented JSON.
-func WriteJSON(w io.Writer, r *Runner) error {
+// BuildJSON runs the full evaluation and assembles the report. A
+// non-nil rec records per-figure wall-clock for BENCH_harness.json.
+func BuildJSON(r *Runner, rec *BenchRecorder) (*JSONReport, error) {
+	timed := func(name string, f func() error) error {
+		if rec != nil {
+			return rec.Time(name, f)
+		}
+		return f()
+	}
 	var rep JSONReport
 	rep.Scale.Ops = r.Ops
 	rep.Scale.ParallelOps = r.ParallelOps
 	rep.Scale.Seed = r.Seed
 
-	rows8, err := Fig8(r)
-	if err != nil {
-		return err
+	if err := timed("fig8", func() error {
+		rows8, err := Fig8(r)
+		if err != nil {
+			return err
+		}
+		for _, row := range rows8 {
+			rep.Fig8 = append(rep.Fig8, Fig8JSON{Suite: row.Suite, SB: row.SB, Speedups: mechMap(row.Speedup)})
+		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
-	for _, row := range rows8 {
-		rep.Fig8 = append(rep.Fig8, Fig8JSON{Suite: row.Suite, SB: row.SB, Speedups: mechMap(row.Speedup)})
+	if err := timed("fig9", func() error {
+		rows9, err := Fig9(r)
+		if err != nil {
+			return err
+		}
+		for _, row := range rows9 {
+			rep.Fig9 = append(rep.Fig9, Fig9JSON{Bench: row.Bench, Stalls: mechMap(row.Stalls)})
+		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
-	rows9, err := Fig9(r)
-	if err != nil {
-		return err
+	if err := timed("fig10", func() error {
+		s10, err := Speedups(r, 114, 114)
+		if err != nil {
+			return err
+		}
+		rep.Fig10 = speedupsJSON(s10)
+		return nil
+	}); err != nil {
+		return nil, err
 	}
-	for _, row := range rows9 {
-		rep.Fig9 = append(rep.Fig9, Fig9JSON{Bench: row.Bench, Stalls: mechMap(row.Stalls)})
+	if err := timed("fig11", func() error {
+		e11, err := EDP(r, workload.SBBound(), 114, 114)
+		if err != nil {
+			return err
+		}
+		rep.Fig11 = edpJSON(e11)
+		return nil
+	}); err != nil {
+		return nil, err
 	}
-	s10, err := Speedups(r, 114, 114)
-	if err != nil {
-		return err
+	if err := timed("fig12", func() error {
+		p12, err := Parsec(r, 114, 114)
+		if err != nil {
+			return err
+		}
+		rep.Fig12 = &ParsecJSON{Speedup: edpJSON(p12.Speedup), EDP: edpJSON(p12.EDP)}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
-	rep.Fig10 = speedupsJSON(s10)
-	e11, err := EDP(r, workload.SBBound(), 114, 114)
-	if err != nil {
-		return err
+	if err := timed("fig13", func() error {
+		s13, err := Speedups(r, 32, 32)
+		if err != nil {
+			return err
+		}
+		rep.Fig13 = speedupsJSON(s13)
+		return nil
+	}); err != nil {
+		return nil, err
 	}
-	rep.Fig11 = edpJSON(e11)
-	p12, err := Parsec(r, 114, 114)
-	if err != nil {
-		return err
+	if err := timed("fig14", func() error {
+		p14, err := Parsec(r, 32, 32)
+		if err != nil {
+			return err
+		}
+		rep.Fig14 = &ParsecJSON{Speedup: edpJSON(p14.Speedup), EDP: edpJSON(p14.EDP)}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
-	rep.Fig12 = &ParsecJSON{Speedup: edpJSON(p12.Speedup), EDP: edpJSON(p12.EDP)}
-	s13, err := Speedups(r, 32, 32)
-	if err != nil {
-		return err
+	if err := timed("fig15", func() error {
+		e15, err := EDP(r, workload.SBBound(), 32, 32)
+		if err != nil {
+			return err
+		}
+		rep.Fig15 = edpJSON(e15)
+		return nil
+	}); err != nil {
+		return nil, err
 	}
-	rep.Fig13 = speedupsJSON(s13)
-	p14, err := Parsec(r, 32, 32)
-	if err != nil {
-		return err
-	}
-	rep.Fig14 = &ParsecJSON{Speedup: edpJSON(p14.Speedup), EDP: edpJSON(p14.EDP)}
-	e15, err := EDP(r, workload.SBBound(), 32, 32)
-	if err != nil {
-		return err
-	}
-	rep.Fig15 = edpJSON(e15)
+	return &rep, nil
+}
 
+// WriteJSON runs the full evaluation and writes it as indented JSON.
+func WriteJSON(w io.Writer, r *Runner) error {
+	rep, err := BuildJSON(r, nil)
+	if err != nil {
+		return err
+	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(&rep)
+	return enc.Encode(rep)
 }

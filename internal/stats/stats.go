@@ -1,37 +1,51 @@
 // Package stats collects named counters and distributions from every
-// simulated component. A Set is cheap to update on the hot path (a map
-// lookup amortized away by interned Counter handles) and can be merged
-// and formatted by the experiment harness.
+// simulated component. A Set is cheap to update on the hot path (an
+// atomic add through interned Counter handles) and can be merged and
+// formatted by the experiment harness.
+//
+// Concurrency: the parallel harness runs one simulated system per
+// goroutine, each with its own Sets, but merges them into shared
+// aggregates and snapshots them while producers may still be running.
+// Counter updates are atomic and every Set registry operation (Counter,
+// Get, Merge, Snapshot, Subtract, Reset, Names, String) is guarded by a
+// mutex, so a Set is safe for concurrent use. Merge acquires the two
+// Sets' locks strictly in sequence (snapshot the source, then add into
+// the destination), so concurrent cross-merges cannot deadlock.
 package stats
 
 import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // Counter is a monotonically increasing event count. Components hold a
-// *Counter obtained from Set.Counter and bump it directly.
+// *Counter obtained from Set.Counter and bump it directly; updates are
+// atomic, so producers on different goroutines may share a handle.
 type Counter struct {
 	name string
-	v    uint64
+	v    atomic.Uint64
 }
 
 // Name returns the counter's registered name.
 func (c *Counter) Name() string { return c.name }
 
 // Value returns the current count.
-func (c *Counter) Value() uint64 { return c.v }
+func (c *Counter) Value() uint64 { return c.v.Load() }
 
 // Add increments the counter by n.
-func (c *Counter) Add(n uint64) { c.v += n }
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
 
 // Inc increments the counter by one.
-func (c *Counter) Inc() { c.v++ }
+func (c *Counter) Inc() { c.v.Add(1) }
 
 // Set is a registry of counters belonging to one component or system.
 type Set struct {
-	prefix   string
+	prefix string
+
+	mu       sync.Mutex
 	counters map[string]*Counter
 	order    []string
 }
@@ -42,9 +56,11 @@ func NewSet(prefix string) *Set {
 	return &Set{prefix: prefix, counters: make(map[string]*Counter)}
 }
 
-// Counter returns the counter with the given name, creating it at zero
-// on first use. The returned handle stays valid for the Set's lifetime.
-func (s *Set) Counter(name string) *Counter {
+// Prefix returns the formatting prefix the Set was created with.
+func (s *Set) Prefix() string { return s.prefix }
+
+// counter is Counter without the lock; callers must hold s.mu.
+func (s *Set) counter(name string) *Counter {
 	if c, ok := s.counters[name]; ok {
 		return c
 	}
@@ -54,33 +70,65 @@ func (s *Set) Counter(name string) *Counter {
 	return c
 }
 
+// Counter returns the counter with the given name, creating it at zero
+// on first use. The returned handle stays valid for the Set's lifetime.
+func (s *Set) Counter(name string) *Counter {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.counter(name)
+}
+
 // Get returns the value of a counter, or zero if it was never created.
 func (s *Set) Get(name string) uint64 {
-	if c, ok := s.counters[name]; ok {
-		return c.v
+	s.mu.Lock()
+	c, ok := s.counters[name]
+	s.mu.Unlock()
+	if !ok {
+		return 0
 	}
-	return 0
+	return c.Value()
 }
 
 // Names returns all registered counter names in creation order.
 func (s *Set) Names() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	out := make([]string, len(s.order))
 	copy(out, s.order)
 	return out
 }
 
-// Merge adds every counter from other into s (matching by name).
+// snapshotOrdered captures names (creation order) and values together.
+func (s *Set) snapshotOrdered() ([]string, []uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, len(s.order))
+	copy(names, s.order)
+	vals := make([]uint64, len(names))
+	for i, n := range names {
+		vals[i] = s.counters[n].Value()
+	}
+	return names, vals
+}
+
+// Merge adds every counter from other into s (matching by name). It is
+// safe to call while producers are still bumping either Set; each
+// source counter contributes the value it held when Merge sampled it.
 func (s *Set) Merge(other *Set) {
-	for _, name := range other.order {
-		s.Counter(name).Add(other.counters[name].v)
+	names, vals := other.snapshotOrdered()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, name := range names {
+		s.counter(name).Add(vals[i])
 	}
 }
 
 // Snapshot captures the current counter values.
 func (s *Set) Snapshot() map[string]uint64 {
-	out := make(map[string]uint64, len(s.counters))
-	for name, c := range s.counters {
-		out[name] = c.v
+	names, vals := s.snapshotOrdered()
+	out := make(map[string]uint64, len(names))
+	for i, n := range names {
+		out[n] = vals[i]
 	}
 	return out
 }
@@ -89,32 +137,43 @@ func (s *Set) Snapshot() map[string]uint64 {
 // discard warm-up statistics). Counters created after the snapshot are
 // left unchanged.
 func (s *Set) Subtract(snap map[string]uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for name, v := range snap {
-		if c, ok := s.counters[name]; ok {
-			if c.v >= v {
-				c.v -= v
-			} else {
-				c.v = 0
-			}
+		c, ok := s.counters[name]
+		if !ok {
+			continue
+		}
+		// Producers may race this clamp; the harness only subtracts
+		// between run phases, when the counter is quiescent.
+		if cur := c.Value(); cur >= v {
+			c.v.Store(cur - v)
+		} else {
+			c.v.Store(0)
 		}
 	}
 }
 
 // Reset zeroes all counters, keeping handles valid.
 func (s *Set) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for _, c := range s.counters {
-		c.v = 0
+		c.v.Store(0)
 	}
 }
 
 // String formats all counters, one per line, sorted by name.
 func (s *Set) String() string {
-	names := make([]string, len(s.order))
-	copy(names, s.order)
+	names, vals := s.snapshotOrdered()
+	byName := make(map[string]uint64, len(names))
+	for i, n := range names {
+		byName[n] = vals[i]
+	}
 	sort.Strings(names)
 	var b strings.Builder
 	for _, n := range names {
-		fmt.Fprintf(&b, "%s.%s = %d\n", s.prefix, n, s.counters[n].v)
+		fmt.Fprintf(&b, "%s.%s = %d\n", s.prefix, n, byName[n])
 	}
 	return b.String()
 }

@@ -1,7 +1,9 @@
 package stats
 
 import (
+	"fmt"
 	"strings"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -101,5 +103,166 @@ func TestMergeCommutesOnValues(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestConcurrentProducers hammers a shared Set from many goroutines:
+// concurrent Counter interning, atomic bumps through shared handles,
+// and Merge/Snapshot sampling while producers are still running. Run
+// under -race this is the harness's concurrency contract for Set.
+func TestConcurrentProducers(t *testing.T) {
+	const (
+		producers = 8
+		perWorker = 10_000
+	)
+	s := NewSet("shared")
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			// Half the goroutines share one hot counter, half intern
+			// their own lazily — both paths must be race-free.
+			hot := s.Counter("hot")
+			own := s.Counter(fmt.Sprintf("own%d", p))
+			for i := 0; i < perWorker; i++ {
+				hot.Inc()
+				own.Add(2)
+			}
+		}(p)
+	}
+	// Sample snapshots concurrently with the producers; values may be
+	// partial but must never race or exceed the final totals.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			snap := s.Snapshot()
+			if snap["hot"] > producers*perWorker {
+				t.Errorf("snapshot overshot: hot=%d", snap["hot"])
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := s.Get("hot"); got != producers*perWorker {
+		t.Fatalf("hot = %d, want %d", got, producers*perWorker)
+	}
+	for p := 0; p < producers; p++ {
+		if got := s.Get(fmt.Sprintf("own%d", p)); got != 2*perWorker {
+			t.Fatalf("own%d = %d, want %d", p, got, 2*perWorker)
+		}
+	}
+}
+
+// TestConcurrentMerge merges many per-worker Sets into one aggregate
+// from separate goroutines (the parallel harness's reduction step) and
+// checks the totals are exact.
+func TestConcurrentMerge(t *testing.T) {
+	const workers = 16
+	total := NewSet("total")
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			local := NewSet(fmt.Sprintf("w%d", w))
+			local.Counter("cycles").Add(uint64(1000 + w))
+			local.Counter("stores").Add(uint64(w))
+			total.Merge(local)
+		}(w)
+	}
+	wg.Wait()
+	wantCycles := uint64(0)
+	wantStores := uint64(0)
+	for w := 0; w < workers; w++ {
+		wantCycles += uint64(1000 + w)
+		wantStores += uint64(w)
+	}
+	if got := total.Get("cycles"); got != wantCycles {
+		t.Fatalf("cycles = %d, want %d", got, wantCycles)
+	}
+	if got := total.Get("stores"); got != wantStores {
+		t.Fatalf("stores = %d, want %d", got, wantStores)
+	}
+}
+
+// TestConcurrentCrossMerge merges two Sets into each other from two
+// goroutines repeatedly; the sequential snapshot-then-add locking in
+// Merge must not deadlock.
+func TestConcurrentCrossMerge(t *testing.T) {
+	a, b := NewSet("a"), NewSet("b")
+	a.Counter("n").Add(1)
+	b.Counter("n").Add(1)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for k := 0; k < 200; k++ {
+				if i == 0 {
+					a.Merge(b)
+				} else {
+					b.Merge(a)
+				}
+			}
+		}(i)
+	}
+	wg.Wait() // reaching here is the assertion: no deadlock, no race
+}
+
+// TestSubtractClamps checks warm-up subtraction semantics: exact
+// removal, clamping at zero, and indifference to post-snapshot counters.
+func TestSubtractClamps(t *testing.T) {
+	s := NewSet("x")
+	s.Counter("a").Add(10)
+	s.Counter("b").Add(3)
+	snap := s.Snapshot()
+	s.Counter("a").Add(5)
+	s.Counter("late").Add(7) // created after the snapshot
+	s.Subtract(snap)
+	if got := s.Get("a"); got != 5 {
+		t.Fatalf("a = %d, want 5", got)
+	}
+	if got := s.Get("b"); got != 0 {
+		t.Fatalf("b = %d, want 0", got)
+	}
+	if got := s.Get("late"); got != 7 {
+		t.Fatalf("late = %d, want 7", got)
+	}
+	// Clamp: subtracting a snapshot larger than the counter floors at 0.
+	s.Subtract(map[string]uint64{"a": 100})
+	if got := s.Get("a"); got != 0 {
+		t.Fatalf("a after clamp = %d, want 0", got)
+	}
+}
+
+// TestSnapshotDuringMerge exercises Snapshot racing Merge on the same
+// destination (the harness snapshots aggregates while cells merge in).
+func TestSnapshotDuringMerge(t *testing.T) {
+	dst := NewSet("dst")
+	src := NewSet("src")
+	for i := 0; i < 32; i++ {
+		src.Counter(fmt.Sprintf("c%02d", i)).Add(1)
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			dst.Merge(src)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			_ = dst.Snapshot()
+			_ = dst.String()
+		}
+	}()
+	wg.Wait()
+	if got := dst.Get("c00"); got != 100 {
+		t.Fatalf("c00 = %d, want 100", got)
 	}
 }

@@ -48,6 +48,11 @@ type Benchmark struct {
 	gen     func(seed int64, ops, threads int) [][]isa.MicroOp
 }
 
+// Valid reports whether the benchmark carries a generator. A
+// zero-value Benchmark (e.g. from an ignored ByName miss) is invalid
+// and would panic in Generate; callers can gate on this instead.
+func (b Benchmark) Valid() bool { return b.gen != nil }
+
 // Generate produces one trace per thread, ops micro-ops per thread.
 func (b Benchmark) Generate(seed int64, ops int) [][]isa.MicroOp {
 	return b.gen(seed, ops, b.Threads)
