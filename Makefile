@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test short race race-harness check smoke chaos litmus figs figures-par
+.PHONY: all build vet test short race race-harness check smoke chaos litmus figs figures-par fuzz cover trace-smoke
 
 all: vet build test
 
@@ -59,3 +59,25 @@ figs:
 # from .tuscache by content hash.
 figures-par:
 	$(GO) run ./cmd/tusbench -quick -j 0 -cache .tuscache -bench-out BENCH_harness.json
+
+# fuzz: both native fuzz targets on a short budget (the committed seed
+# corpora under testdata/fuzz replay as plain tests in `make test`).
+# FuzzOracleVsChecker drives random small TSO programs through the
+# operational oracle and replays every allowed interleaving through the
+# online checker; FuzzWorkloadTrace shakes the workload generators.
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test ./internal/tso/ -run '^$$' -fuzz FuzzOracleVsChecker -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/workload/ -run '^$$' -fuzz FuzzWorkloadTrace -fuzztime $(FUZZTIME)
+
+# cover: enforce the observability-layer coverage floor (the tracer and
+# histogram code carry the golden/identity guarantees, so they must stay
+# tested).
+cover:
+	$(GO) test -coverprofile=cover.out ./internal/trace/ ./internal/stats/
+	$(GO) tool cover -func=cover.out | awk '/^total:/ { sub("%","",$$3); if ($$3+0 < 85) { printf "coverage %.1f%% below 85%% floor\n", $$3; exit 1 } else printf "coverage %.1f%% (floor 85%%)\n", $$3 }'
+
+# trace-smoke: the acceptance path — a smoke workload emitting a
+# Perfetto-loadable Chrome trace JSON with the full store lifecycle.
+trace-smoke:
+	$(GO) run ./cmd/tusim -bench 502.gcc5 -mech TUS -ops 20000 -trace -trace-out trace.json

@@ -8,6 +8,7 @@
 //	tusbench -table cam      # CAM model vs paper claims
 //	tusbench -table config   # Table I configuration dump
 //	tusbench -summary        # headline averages
+//	tusbench -hist           # occupancy/latency histogram report
 //	tusbench -dse 502.gcc5   # TUS design-space exploration
 //	tusbench -quick          # small traces (CI-sized)
 //	tusbench -ops N          # trace length per thread
@@ -37,6 +38,7 @@ func main() {
 	fig := flag.Int("fig", 0, "regenerate one figure (8-15); 0 = all")
 	table := flag.String("table", "", "print a table: cam | config")
 	summary := flag.Bool("summary", false, "print headline averages only")
+	hist := flag.Bool("hist", false, "print the occupancy/latency histogram report (SB-bound matrix @114SB)")
 	dse := flag.String("dse", "", "run the TUS design-space exploration on a benchmark (e.g. 502.gcc5)")
 	jsonOut := flag.Bool("json", false, "emit the full evaluation as JSON")
 	quick := flag.Bool("quick", false, "use small traces")
@@ -114,6 +116,15 @@ func main() {
 			fail(err)
 		}
 		harness.PrintDSE(os.Stdout, points)
+		return
+	}
+
+	if *hist {
+		rows, err := harness.Histograms(r, 114)
+		if err != nil {
+			fail(err)
+		}
+		harness.PrintHistograms(os.Stdout, rows)
 		return
 	}
 

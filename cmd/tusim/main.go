@@ -10,7 +10,8 @@
 //	tusim -bench 505.mcf -mech base -check   # with TSO checker
 //	tusim -litmus -mech TUS                  # TSO litmus suite
 //	tusim -bench 502.gcc1 -save-trace /tmp/t # export trace files
-//	tusim -trace /tmp/t.0.tust -mech CSB     # replay a trace file
+//	tusim -replay /tmp/t.0.tust -mech CSB    # replay a trace file
+//	tusim -trace -trace-out t.json           # store-lifecycle trace (Perfetto)
 //	tusim -chaos-seed 7                      # seeded chaos-fuzz sweep
 //	tusim -repro tus-crash.json              # replay a crash bundle
 package main
@@ -31,6 +32,7 @@ import (
 	"tusim/internal/isa"
 	"tusim/internal/litmus"
 	"tusim/internal/system"
+	"tusim/internal/trace"
 	"tusim/internal/tso"
 	"tusim/internal/workload"
 )
@@ -48,7 +50,9 @@ func main() {
 	noCoalesce := flag.Bool("no-coalesce", false, "disable TUS coalescing (ablation)")
 	dumpStats := flag.Bool("stats", false, "dump all raw counters")
 	saveTrace := flag.String("save-trace", "", "write the generated trace(s) to <path>.<thread>.tust and exit")
-	fromTrace := flag.String("trace", "", "run a saved single-thread trace file instead of a benchmark proxy")
+	fromTrace := flag.String("replay", "", "run a saved single-thread trace file instead of a benchmark proxy")
+	doTrace := flag.Bool("trace", false, "record the store-lifecycle trace (SB/WCB/WOQ/MSHR spans)")
+	traceOut := flag.String("trace-out", "", "write the lifecycle trace as Chrome trace JSON to this file (implies -trace; default trace.json)")
 	runLitmus := flag.Bool("litmus", false, "run the TSO litmus suite under -mech and exit")
 	chaosSeed := flag.Uint64("chaos-seed", 0, "run the seeded chaos-fuzz sweep (litmus matrix + bench soak) and exit")
 	auditEvery := flag.Uint64("audit", 0, "audit machine invariants every N cycles (0 = off)")
@@ -126,13 +130,13 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		trace, err := isa.ReadTrace(f)
+		replayed, err := isa.ReadTrace(f)
 		f.Close()
 		if err != nil {
 			fail(err)
 		}
-		streams = []isa.Stream{isa.NewSliceStream(trace)}
-		*ops = len(trace)
+		streams = []isa.Stream{isa.NewSliceStream(replayed)}
+		*ops = len(replayed)
 	} else {
 		threads = b.Threads
 		benchName = b.Name
@@ -169,6 +173,15 @@ func main() {
 		fail(err)
 	}
 	sys.WarmupOps = uint64(*ops) * uint64(threads) / 3
+
+	var lifecycle *trace.Tracer
+	if *doTrace || *traceOut != "" {
+		if *traceOut == "" {
+			*traceOut = "trace.json"
+		}
+		lifecycle = trace.New(0)
+		sys.SetTracer(lifecycle)
+	}
 
 	var ck *tso.Checker
 	if *check {
@@ -220,6 +233,22 @@ func main() {
 		100*e.Core/e.Total(), 100*(e.SB+e.WOQ+e.WCB+e.TSOB)/e.Total(),
 		100*(e.L1D+e.L2+e.LLC)/e.Total(), 100*e.DRAM/e.Total(), 100*e.Leakage/e.Total())
 	fmt.Printf("EDP           %.4g\n", model.EDP(st, sys.Cycles))
+
+	if lifecycle != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fail(err)
+		}
+		if err := lifecycle.WriteChrome(f); err != nil {
+			f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("trace         %d events -> %s (open in ui.perfetto.dev; %d dropped)\n",
+			lifecycle.Len(), *traceOut, lifecycle.Dropped())
+	}
 
 	if *dumpStats {
 		fmt.Println("\nraw counters:")

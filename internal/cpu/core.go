@@ -10,6 +10,7 @@ import (
 	"tusim/internal/isa"
 	"tusim/internal/memsys"
 	"tusim/internal/stats"
+	"tusim/internal/trace"
 )
 
 // DrainMechanism is the pluggable store-handling policy: it owns the
@@ -114,6 +115,12 @@ type Core struct {
 	cStallROB, cStallLQ, cStallSB, cSBSearch *stats.Counter
 	cFwdHits, cFwdConflicts, cMechFwd        *stats.Counter
 	cSBBlocked, cFenceStall, cSBOverflow     *stats.Counter
+
+	hSBOcc, hDrainLat *stats.Histogram
+
+	// tr is the lifecycle tracer; nil (the default) records nothing and
+	// costs one branch per Emit.
+	tr *trace.Tracer
 }
 
 // NewCore builds a core over a private cache hierarchy and a micro-op
@@ -151,6 +158,17 @@ func NewCore(id int, cfg *config.Config, q *event.Queue, priv *memsys.Private, s
 	c.cSBBlocked = st.Counter("sb_head_blocked_cycles")
 	c.cFenceStall = st.Counter("fence_stall_cycles")
 	c.cSBOverflow = st.Counter("sb_overflows")
+	c.hSBOcc = st.Histogram("sb_occupancy")
+	c.hDrainLat = st.Histogram("sb_drain_latency")
+	c.SB.OnPop = func(e *SBEntry) {
+		now := c.q.Now()
+		var lat uint64
+		if now >= e.CommitCycle {
+			lat = now - e.CommitCycle
+		}
+		c.hDrainLat.Observe(lat)
+		c.tr.Emit(trace.SBDrain, int32(c.ID), now, e.Addr, e.Seq, lat)
+	}
 	if cfg.PrefetchAtCommit {
 		// The commit-time RFO is a 100%-accurate demand hint, naturally
 		// rate-limited by commit width, so it rides the demand path.
@@ -171,8 +189,15 @@ func NewCore(id int, cfg *config.Config, q *event.Queue, priv *memsys.Private, s
 // SetMechanism attaches the store drain policy.
 func (c *Core) SetMechanism(m DrainMechanism) { c.mech = m }
 
+// SetTracer attaches (or detaches, with nil) the lifecycle tracer.
+func (c *Core) SetTracer(t *trace.Tracer) { c.tr = t }
+
 // Priv exposes the private hierarchy (mechanisms and tests).
 func (c *Core) Priv() *memsys.Private { return c.priv }
+
+// Now exposes the simulation clock (mechanisms without their own queue
+// handle use it to timestamp trace events).
+func (c *Core) Now() uint64 { return c.q.Now() }
 
 // StoreValue derives the deterministic 8-byte value a store writes;
 // workloads and the TSO checker agree on this function.
@@ -194,6 +219,7 @@ func (c *Core) Done() bool {
 // Tick advances the core by one cycle: commit, issue, dispatch, drain.
 func (c *Core) Tick() {
 	c.cCycles.Inc()
+	c.hSBOcc.Observe(uint64(c.SB.Len()))
 	c.commit()
 	c.issue()
 	c.dispatch()
@@ -233,6 +259,8 @@ func (c *Core) commit() {
 		switch e.op.Kind {
 		case isa.Store:
 			e.sbEntry.Committed = true
+			e.sbEntry.CommitCycle = c.q.Now()
+			c.tr.Emit(trace.SBCommit, int32(c.ID), c.q.Now(), e.op.Addr, e.seq, 0)
 			if c.OnStoreData != nil {
 				c.OnStoreData(e.seq, e.op.Addr, e.op.Size, e.sbEntry.Data)
 			}
@@ -589,6 +617,7 @@ func (c *Core) dispatchOp(op isa.MicroOp) bool {
 			c.cSBOverflow.Inc()
 			return false
 		}
+		c.tr.Emit(trace.SBEnqueue, int32(c.ID), c.q.Now(), op.Addr, seq, uint64(c.SB.Len()))
 	}
 	c.seq++
 	e := c.entry(seq)

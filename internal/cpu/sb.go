@@ -17,6 +17,10 @@ type SBEntry struct {
 	Data      [8]byte
 	Executed  bool // address generated and data captured
 	Committed bool
+	// CommitCycle is the cycle the store's ROB entry retired (set by the
+	// core at commit). Drain latency = pop cycle − CommitCycle. Purely
+	// observational: no mechanism reads it for timing decisions.
+	CommitCycle uint64
 }
 
 // Line returns the cache line address of the entry.
@@ -38,6 +42,11 @@ type StoreBuffer struct {
 	// Full first, so a nonzero count means SB accounting drifted; the
 	// core surfaces it as a counted stall instead of killing the run.
 	Overflows uint64
+	// OnPop, when set, observes each entry just before it leaves the
+	// buffer. Every drain mechanism pops through here, so the core gets
+	// a uniform drain-event hook without each mechanism carrying a
+	// clock. Must be observational only.
+	OnPop func(*SBEntry)
 }
 
 const noUnexec = ^uint64(0)
@@ -108,6 +117,9 @@ func (sb *StoreBuffer) Pop() {
 	if sb.count == 0 {
 		// Invariant: mechanisms pop only after Head() returned non-nil.
 		panic("cpu: pop from empty store buffer")
+	}
+	if sb.OnPop != nil {
+		sb.OnPop(&sb.entries[sb.head])
 	}
 	sb.head = (sb.head + 1) % len(sb.entries)
 	sb.count--

@@ -1,0 +1,148 @@
+package energy
+
+import (
+	"testing"
+
+	"tusim/internal/config"
+	"tusim/internal/stats"
+)
+
+// TestCounterComponentMapping is the table-driven contract between the
+// stats layer and the energy model: each counter feeds exactly one
+// breakdown component, charged at its documented per-event energy, and
+// the components sum to Total. Setting one counter at a time makes a
+// mis-wired counter (charged twice, or to the wrong component) fail by
+// name.
+func TestCounterComponentMapping(t *testing.T) {
+	cfg := config.Default()
+	m := New(cfg)
+	sbSearch := SBCAM.SearchEnergy(cfg.SBEntries)
+	cases := []struct {
+		counter string
+		events  uint64
+		perUnit float64
+		pick    func(Breakdown) float64
+		name    string
+	}{
+		{"committed_ops", 1000, m.P.CoreDynamic, func(b Breakdown) float64 { return b.Core }, "Core"},
+		{"sb_searches", 700, sbSearch, func(b Breakdown) float64 { return b.SB }, "SB"},
+		{"woq_searches", 700, WOQSearchEnergy(), func(b Breakdown) float64 { return b.WOQ }, "WOQ"},
+		{"wcb_searches", 300, m.P.WCBSearch, func(b Breakdown) float64 { return b.WCB }, "WCB"},
+		{"tsob_searches", 300, m.P.TSOBSearch, func(b Breakdown) float64 { return b.TSOB }, "TSOB"},
+		{"l1d_reads", 400, m.P.L1DAccess, func(b Breakdown) float64 { return b.L1D }, "L1D"},
+		{"l1d_writes", 250, m.P.L1DAccess, func(b Breakdown) float64 { return b.L1D }, "L1D"},
+		{"tus_fill_merges", 50, m.P.L1DAccess, func(b Breakdown) float64 { return b.L1D }, "L1D"},
+		{"l2_hits", 60, m.P.L2Access, func(b Breakdown) float64 { return b.L2 }, "L2"},
+		{"l2_updates", 40, m.P.L2Access, func(b Breakdown) float64 { return b.L2 }, "L2"},
+		{"l2_misses", 30, m.P.L2Access, func(b Breakdown) float64 { return b.L2 }, "L2"},
+		{"llc_accesses", 20, m.P.LLCAccess, func(b Breakdown) float64 { return b.LLC }, "LLC"},
+		{"ssb_llc_writes", 20, m.P.LLCAccess, func(b Breakdown) float64 { return b.LLC }, "LLC"},
+		{"llc_probes", 15, m.P.Probe, func(b Breakdown) float64 { return b.LLC }, "LLC"},
+		{"dram_accesses", 9, m.P.DRAMAccess, func(b Breakdown) float64 { return b.DRAM }, "DRAM"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.counter, func(t *testing.T) {
+			st := stats.NewSet("t")
+			st.Counter(tc.counter).Add(tc.events)
+			b := m.Energy(st, 0)
+			want := float64(tc.events) * tc.perUnit
+			if got := tc.pick(b); got != want {
+				t.Errorf("%s component = %v, want %v (%d events x %v)", tc.name, got, want, tc.events, tc.perUnit)
+			}
+			// With zero cycles there is no leakage, so the single charged
+			// component must be the whole total: the counter feeds exactly
+			// one component.
+			if b.Total() != want {
+				t.Errorf("Total = %v, want %v — counter %s charged to more than one component", b.Total(), want, tc.counter)
+			}
+		})
+	}
+}
+
+// TestZeroStatsZeroEnergy: an empty stat set at zero cycles costs
+// nothing, and with cycles > 0 costs exactly leakage — no component has
+// a hidden constant term.
+func TestZeroStatsZeroEnergy(t *testing.T) {
+	cfg := config.Default()
+	m := New(cfg)
+	empty := stats.NewSet("t")
+	if got := m.Energy(empty, 0).Total(); got != 0 {
+		t.Fatalf("zero stats, zero cycles: Total = %v, want 0", got)
+	}
+	b := m.Energy(empty, 10_000)
+	wantLeak := 10_000 * m.P.LeakagePerCycle * float64(cfg.Cores)
+	if b.Leakage != wantLeak {
+		t.Errorf("Leakage = %v, want %v", b.Leakage, wantLeak)
+	}
+	if b.Total() != wantLeak {
+		t.Errorf("zero stats: Total = %v, want leakage only (%v)", b.Total(), wantLeak)
+	}
+	if m.EDP(empty, 0) != 0 {
+		t.Errorf("EDP of an empty zero-cycle run = %v, want 0", m.EDP(empty, 0))
+	}
+}
+
+// fig15Profile builds counter sets shaped like the Fig. 15 operating
+// point (mechanisms at a 32-entry SB): the same committed work and
+// cache traffic, differing only in the store-handling structures each
+// mechanism exercises.
+func fig15Profile(extra func(*stats.Set)) *stats.Set {
+	st := stats.NewSet("t")
+	st.Counter("committed_ops").Add(100_000)
+	st.Counter("l1d_reads").Add(30_000)
+	st.Counter("l1d_writes").Add(12_000)
+	st.Counter("l2_misses").Add(2_000)
+	st.Counter("llc_accesses").Add(1_500)
+	st.Counter("dram_accesses").Add(400)
+	if extra != nil {
+		extra(st)
+	}
+	return st
+}
+
+// TestMechanismEnergyDeltaSigns pins the directional claims Fig. 15
+// rests on, on fig-15-shaped inputs at 32 SB entries:
+//
+//   - TUS replaces SB CAM searches with 5x-cheaper WOQ searches, so its
+//     energy delta vs baseline is negative even after paying WCB
+//     searches and fill merges;
+//   - SSB writes every store through to the LLC, so its delta is
+//     positive (the EDP penalty the paper reports);
+//   - both inequalities carry over to EDP at equal cycle counts.
+func TestMechanismEnergyDeltaSigns(t *testing.T) {
+	cfg := config.Default().WithSB(32)
+	m := New(cfg)
+	const cycles = 80_000
+	const searches = 40_000
+	const stores = 12_000
+
+	base := fig15Profile(func(st *stats.Set) {
+		st.Counter("sb_searches").Add(searches)
+	})
+	tus := fig15Profile(func(st *stats.Set) {
+		st.Counter("woq_searches").Add(searches)
+		st.Counter("wcb_searches").Add(stores)
+		st.Counter("tus_fill_merges").Add(stores / 10)
+	})
+	ssb := fig15Profile(func(st *stats.Set) {
+		st.Counter("sb_searches").Add(searches)
+		st.Counter("tsob_searches").Add(searches)
+		st.Counter("ssb_llc_writes").Add(stores)
+	})
+
+	eBase := m.Energy(base, cycles).Total()
+	eTUS := m.Energy(tus, cycles).Total()
+	eSSB := m.Energy(ssb, cycles).Total()
+	if eTUS >= eBase {
+		t.Errorf("TUS energy delta sign: %v >= baseline %v, want lower (WOQ search is 5x cheaper than the 32-entry SB CAM)", eTUS, eBase)
+	}
+	if eSSB <= eBase {
+		t.Errorf("SSB energy delta sign: %v <= baseline %v, want higher (per-store LLC writes)", eSSB, eBase)
+	}
+	if edpT, edpB := m.EDP(tus, cycles), m.EDP(base, cycles); edpT >= edpB {
+		t.Errorf("TUS EDP %v >= baseline %v at equal cycles", edpT, edpB)
+	}
+	if edpS, edpB := m.EDP(ssb, cycles), m.EDP(base, cycles); edpS <= edpB {
+		t.Errorf("SSB EDP %v <= baseline %v at equal cycles", edpS, edpB)
+	}
+}

@@ -48,17 +48,21 @@ func (r *Runner) contentKey(b workload.Benchmark, cfg *config.Config) string {
 // parallel name/value slices in counter-creation order so the rebuilt
 // Set formats identically to a live one.
 type cacheEntry struct {
-	Version    string            `json:"version"`
-	Bench      string            `json:"bench"`
-	Mech       string            `json:"mech"`
-	SB         int               `json:"sb"`
-	Cores      int               `json:"cores"`
-	Cycles     uint64            `json:"cycles"`
-	EDP        float64           `json:"edp"`
-	Energy     energy.Breakdown  `json:"energy"`
-	StatPrefix string            `json:"stat_prefix"`
-	StatNames  []string          `json:"stat_names"`
-	StatValues []uint64          `json:"stat_values"`
+	Version    string           `json:"version"`
+	Bench      string           `json:"bench"`
+	Mech       string           `json:"mech"`
+	SB         int              `json:"sb"`
+	Cores      int              `json:"cores"`
+	Cycles     uint64           `json:"cycles"`
+	EDP        float64          `json:"edp"`
+	Energy     energy.Breakdown `json:"energy"`
+	StatPrefix string           `json:"stat_prefix"`
+	StatNames  []string         `json:"stat_names"`
+	StatValues []uint64         `json:"stat_values"`
+	// Histograms, like counters, are stored in creation order so the
+	// rebuilt Set formats identically to a live one.
+	HistNames []string             `json:"hist_names,omitempty"`
+	HistSnaps []stats.HistSnapshot `json:"hist_snaps,omitempty"`
 }
 
 func (c *DiskCache) path(key string) string {
@@ -78,12 +82,16 @@ func (c *DiskCache) Get(key string, b workload.Benchmark, m config.Mechanism, sb
 		return Result{}, false
 	}
 	if e.Version != HarnessVersion || e.Bench != b.Name || e.Mech != m.String() ||
-		e.SB != sbSize || len(e.StatNames) != len(e.StatValues) || e.Cycles == 0 {
+		e.SB != sbSize || len(e.StatNames) != len(e.StatValues) ||
+		len(e.HistNames) != len(e.HistSnaps) || e.Cycles == 0 {
 		return Result{}, false
 	}
 	st := stats.NewSet(e.StatPrefix)
 	for i, name := range e.StatNames {
 		st.Counter(name).Add(e.StatValues[i])
+	}
+	for i, name := range e.HistNames {
+		st.MergeHistSnapshot(name, e.HistSnaps[i])
 	}
 	return Result{
 		Bench:  e.Bench,
@@ -105,6 +113,12 @@ func (c *DiskCache) Put(key string, res Result) {
 	for i, n := range names {
 		vals[i] = res.Stats.Get(n)
 	}
+	hnames := res.Stats.HistNames()
+	hsnaps := make([]stats.HistSnapshot, len(hnames))
+	byName := res.Stats.HistSnapshots()
+	for i, n := range hnames {
+		hsnaps[i] = byName[n]
+	}
 	e := cacheEntry{
 		Version:    HarnessVersion,
 		Bench:      res.Bench,
@@ -117,6 +131,8 @@ func (c *DiskCache) Put(key string, res Result) {
 		StatPrefix: res.Stats.Prefix(),
 		StatNames:  names,
 		StatValues: vals,
+		HistNames:  hnames,
+		HistSnaps:  hsnaps,
 	}
 	data, err := json.MarshalIndent(&e, "", "  ")
 	if err != nil {

@@ -24,6 +24,7 @@ import (
 	"tusim/internal/energy"
 	"tusim/internal/stats"
 	"tusim/internal/system"
+	"tusim/internal/trace"
 	"tusim/internal/tso"
 	"tusim/internal/workload"
 )
@@ -31,7 +32,9 @@ import (
 // HarnessVersion keys the persistent result cache: bump it whenever a
 // change anywhere in the simulator can alter cell results, so stale
 // cache entries from older binaries can never masquerade as fresh runs.
-const HarnessVersion = "tusim-harness-3"
+// (v4: stat sets carry occupancy/latency histograms that must
+// round-trip through the cache.)
+const HarnessVersion = "tusim-harness-4"
 
 // Result captures one simulation run.
 type Result struct {
@@ -77,6 +80,17 @@ type Runner struct {
 	// Cache, when non-nil, persists results across processes keyed by
 	// the content hash of (harness version, config, workload identity).
 	Cache *DiskCache
+	// Trace attaches a store-lifecycle tracer to every freshly simulated
+	// cell. Tracing is observational only: every result and figure is
+	// byte-identical with it on or off (the golden identity test pins
+	// this). Event streams are discarded unless OnTrace is set; cells
+	// served from a cache never simulated, so they deliver no trace.
+	Trace bool
+	// OnTrace, when set together with Trace, receives each simulated
+	// cell's tracer after the run completes (key = "bench/mech/sb").
+	// Called from worker goroutines; the callback must be safe for
+	// concurrent use when Workers > 1.
+	OnTrace func(key string, t *trace.Tracer)
 
 	mu    sync.Mutex
 	cells map[string]*cell
@@ -170,6 +184,11 @@ func (r *Runner) compute(b workload.Benchmark, m config.Mechanism, sbSize int, k
 	// 2B-instruction simulation point; our warm workloads put their
 	// footprint-touch prologue inside this window).
 	sys.WarmupOps = uint64(r.ops(b)) * uint64(b.Threads) / 3
+	var tr *trace.Tracer
+	if r.Trace {
+		tr = trace.New(0)
+		sys.SetTracer(tr)
+	}
 	var ck *tso.Checker
 	if r.Check {
 		ck = tso.NewChecker(cfg.Cores)
@@ -198,6 +217,9 @@ func (r *Runner) compute(b workload.Benchmark, m config.Mechanism, sbSize int, k
 	}
 	r.cellNanos.Add(int64(time.Since(start)))
 	r.cellsRun.Add(1)
+	if tr != nil && r.OnTrace != nil {
+		r.OnTrace(key, tr)
+	}
 	if r.Cache != nil {
 		r.Cache.Put(ckey, res)
 	}

@@ -1,0 +1,101 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"tusim/internal/config"
+	"tusim/internal/stats"
+	"tusim/internal/workload"
+)
+
+// HistRow carries one cell's occupancy/latency histograms (merged over
+// cores by StatsSum). Names is sorted so rows render and serialize
+// deterministically regardless of which core registered a histogram
+// first.
+type HistRow struct {
+	Bench string
+	Mech  config.Mechanism
+	SB    int
+	Names []string
+	Hists map[string]stats.HistSnapshot
+}
+
+// Histograms runs (or fetches) the ST SB-bound matrix at the given SB
+// size and returns every cell's histograms: SB/WOQ/TSOB/MSHR occupancy,
+// drain latency, and TUS unauthorized-residency distributions. The cell
+// set matches Fig. 9's, so after a figure run everything is already
+// memoized and this is free.
+func Histograms(r *Runner, sb int) ([]HistRow, error) {
+	benchs := workload.SBBound()
+	if err := r.Prefetch(fullMatrix(benchs, sb, sb)); err != nil {
+		return nil, err
+	}
+	var rows []HistRow
+	for _, b := range benchs {
+		for _, m := range config.Mechanisms {
+			res, err := r.Run(b, m, sb)
+			if err != nil {
+				return nil, err
+			}
+			snaps := res.Stats.HistSnapshots()
+			names := make([]string, 0, len(snaps))
+			for n := range snaps {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			rows = append(rows, HistRow{Bench: b.Name, Mech: m, SB: sb, Names: names, Hists: snaps})
+		}
+	}
+	return rows, nil
+}
+
+// PrintHistograms renders the histogram report as text.
+func PrintHistograms(w io.Writer, rows []HistRow) {
+	fmt.Fprintln(w, "Occupancy / latency histograms (cycles or entries; power-of-two buckets)")
+	for _, row := range rows {
+		fmt.Fprintf(w, "%s/%v/SB=%d\n", row.Bench, row.Mech, row.SB)
+		for _, n := range row.Names {
+			fmt.Fprintf(w, "  %-22s %s\n", n, row.Hists[n])
+		}
+	}
+}
+
+// HistJSON is the machine-readable form of one histogram: headline
+// moments plus quantile upper bounds (full buckets stay in the disk
+// cache; the report carries the summary).
+type HistJSON struct {
+	Bench string  `json:"bench"`
+	Mech  string  `json:"mech"`
+	SB    int     `json:"sb"`
+	Name  string  `json:"name"`
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean"`
+	Max   uint64  `json:"max"`
+	P50   uint64  `json:"p50_upper"`
+	P90   uint64  `json:"p90_upper"`
+	P99   uint64  `json:"p99_upper"`
+}
+
+func histsJSON(rows []HistRow) []HistJSON {
+	var out []HistJSON
+	for _, row := range rows {
+		for _, n := range row.Names {
+			s := row.Hists[n]
+			out = append(out, HistJSON{
+				Bench: row.Bench,
+				Mech:  row.Mech.String(),
+				SB:    row.SB,
+				Name:  n,
+				Count: s.Count,
+				Mean:  stats.Ratio(s.Sum, s.Count),
+				Max:   s.Max,
+				P50:   s.Quantile(0.50),
+				P90:   s.Quantile(0.90),
+				P99:   s.Quantile(0.99),
+			})
+		}
+	}
+	return out
+}

@@ -25,6 +25,9 @@ type JSONReport struct {
 	Fig13 *SpeedupsJSON `json:"fig13_speedups_32"`
 	Fig14 *ParsecJSON   `json:"fig14_parsec_32"`
 	Fig15 *EDPJSON      `json:"fig15_edp_32"`
+	// Hists summarizes every occupancy/latency histogram of the ST
+	// SB-bound matrix at 114 SB (the Fig. 9 cells, so no extra runs).
+	Hists []HistJSON `json:"histograms"`
 }
 
 // Fig8JSON is one scalability row.
@@ -189,6 +192,16 @@ func BuildJSON(r *Runner, rec *BenchRecorder) (*JSONReport, error) {
 			return err
 		}
 		rep.Fig15 = edpJSON(e15)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if err := timed("histograms", func() error {
+		rows, err := Histograms(r, 114)
+		if err != nil {
+			return err
+		}
+		rep.Hists = histsJSON(rows)
 		return nil
 	}); err != nil {
 		return nil, err

@@ -7,6 +7,7 @@ import (
 	"tusim/internal/cpu"
 	"tusim/internal/memsys"
 	"tusim/internal/stats"
+	"tusim/internal/trace"
 	"tusim/internal/wcb"
 )
 
@@ -30,6 +31,8 @@ type CSB struct {
 
 	cDrained, cBlocked, cGroupWrites *stats.Counter
 	cCoalesced, cWCBSearch           *stats.Counter
+
+	tr *trace.Tracer
 }
 
 // csbIdleFlush is how many drain-idle cycles the WCBs may hold stores
@@ -57,6 +60,9 @@ func NewCSB(core *cpu.Core, cfg *config.Config, st *stats.Set) *CSB {
 
 // Name implements cpu.DrainMechanism.
 func (c *CSB) Name() string { return config.CSB.String() }
+
+// SetTracer attaches (or detaches, with nil) the lifecycle tracer.
+func (c *CSB) SetTracer(t *trace.Tracer) { c.tr = t }
 
 // Tick implements cpu.DrainMechanism.
 func (c *CSB) Tick() {
@@ -91,6 +97,7 @@ func (c *CSB) Tick() {
 		c.idle = 0
 		switch c.wcbs.Insert(e.Addr, e.Data[:e.Size]) {
 		case wcb.Inserted:
+			c.tr.Emit(trace.WCBCoalesce, int32(c.core.ID), c.core.Now(), e.Addr, e.Seq, 0)
 			c.core.SB.Pop()
 			c.cDrained.Inc()
 			c.cCoalesced.Inc()

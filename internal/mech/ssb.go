@@ -6,6 +6,7 @@ import (
 	"tusim/internal/event"
 	"tusim/internal/memsys"
 	"tusim/internal/stats"
+	"tusim/internal/trace"
 )
 
 // SSB is the idealized Scalable Store Buffer (Wenisch et al., ISCA'07):
@@ -36,6 +37,10 @@ type SSB struct {
 	cBlocked  *stats.Counter
 	cPeak     *stats.Counter
 	cSearches *stats.Counter
+
+	hTSOBOcc *stats.Histogram
+
+	tr *trace.Tracer
 }
 
 // ssbLookahead is how many distinct TSOB lines ahead of the drain head
@@ -59,8 +64,12 @@ func NewSSB(core *cpu.Core, cfg *config.Config, q *event.Queue, st *stats.Set) *
 		cBlocked:  st.Counter("drain_blocked_cycles"),
 		cPeak:     st.Counter("tsob_peak_occupancy"),
 		cSearches: st.Counter("tsob_searches"),
+		hTSOBOcc:  st.Histogram("tsob_occupancy"),
 	}
 }
+
+// SetTracer attaches (or detaches, with nil) the lifecycle tracer.
+func (s *SSB) SetTracer(t *trace.Tracer) { s.tr = t }
 
 // Name implements cpu.DrainMechanism.
 func (s *SSB) Name() string { return config.SSB.String() }
@@ -77,12 +86,14 @@ func (s *SSB) Tick() {
 		}
 		*s.at(s.count) = *e
 		s.count++
+		s.tr.Emit(trace.TSOBEnqueue, int32(s.core.ID), s.q.Now(), e.Addr, e.Seq, uint64(s.count))
 		s.core.SB.Pop()
 	}
 	if uint64(s.count) > s.cPeak.Value() {
 		// Track peak occupancy via a counter (monotone).
 		s.cPeak.Add(uint64(s.count) - s.cPeak.Value())
 	}
+	s.hTSOBOcc.Observe(uint64(s.count))
 	if s.count == 0 {
 		return
 	}
@@ -121,6 +132,7 @@ func (s *SSB) Tick() {
 			s.cLLCWrite.Inc()
 			s.llcInflight++
 			s.q.After(s.cfg.L2.Latency, func() { s.llcInflight-- })
+			s.tr.Emit(trace.StoreVisibleEv, int32(s.core.ID), s.q.Now(), h.Addr, h.Seq, 0)
 			s.head = (s.head + 1) % len(s.tsob)
 			s.count--
 			s.requested = false

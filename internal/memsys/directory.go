@@ -8,6 +8,7 @@ import (
 	"tusim/internal/event"
 	"tusim/internal/faults"
 	"tusim/internal/stats"
+	"tusim/internal/trace"
 )
 
 // Directory is the shared LLC with an embedded full-map directory. It
@@ -39,7 +40,15 @@ type Directory struct {
 
 	cAccess, cNack, cProbes, cRecallFail *stats.Counter
 	cEvict, cOverflow                    *stats.Counter
+
+	tr *trace.Tracer
 }
+
+// dirTraceCore is the tracer pid for directory-originated events.
+const dirTraceCore = -1
+
+// SetTracer attaches (or detaches, with nil) the lifecycle tracer.
+func (d *Directory) SetTracer(t *trace.Tracer) { d.tr = t }
 
 type dirEntry struct {
 	line      uint64
@@ -143,6 +152,7 @@ func (d *Directory) entry(line uint64) *dirEntry {
 		} else {
 			d.cOverflow.Inc()
 			d.cRecallFail.Inc()
+			d.tr.Emit(trace.DirRecall, dirTraceCore, d.q.Now(), line, 0, 0)
 		}
 	}
 	e := &dirEntry{line: line, owner: -1}
@@ -188,6 +198,7 @@ func (d *Directory) handle(src int, line uint64, wantM, lowLane bool, cb func(ok
 		// delay), so requesters must already cope with it at any time.
 		d.cFaultNack.Inc()
 		d.cNack.Inc()
+		d.tr.Emit(trace.DirNack, dirTraceCore, d.q.Now(), line, 0, uint64(src))
 		d.q.After(d.reqLat, func() { cb(false, nil, false) })
 		return
 	}
@@ -200,6 +211,7 @@ func (d *Directory) handle(src int, line uint64, wantM, lowLane bool, cb func(ok
 			e.waiting = append(e.waiting, queuedReq{src: src, wantM: wantM, lowLane: lowLane, cb: cb})
 		} else {
 			d.cNack.Inc()
+			d.tr.Emit(trace.DirNack, dirTraceCore, d.q.Now(), line, 0, uint64(src))
 			d.q.After(d.reqLat, func() { cb(false, nil, false) })
 		}
 		return
@@ -223,6 +235,7 @@ func (d *Directory) handle(src int, line uint64, wantM, lowLane bool, cb func(ok
 	nack := func() {
 		e.busy = false
 		d.cNack.Inc()
+		d.tr.Emit(trace.DirNack, dirTraceCore, d.q.Now(), line, 0, uint64(src))
 		d.q.After(d.reqLat, func() { cb(false, nil, false) })
 		d.kick(e)
 	}

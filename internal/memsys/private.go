@@ -7,6 +7,7 @@ import (
 	"tusim/internal/event"
 	"tusim/internal/faults"
 	"tusim/internal/stats"
+	"tusim/internal/trace"
 )
 
 // MESI is the coherence permission a private hierarchy holds for a line.
@@ -179,6 +180,10 @@ type Private struct {
 	cL1Write, cL2Update, cWriteback    *stats.Counter
 	cNack, cRelinquish, cPrefetchDrop  *stats.Counter
 	cLoads, cFillMerge, cL1SetOverflow *stats.Counter
+
+	hMSHROcc *stats.Histogram
+
+	tr *trace.Tracer
 }
 
 // NewPrivate builds the private hierarchy for core id.
@@ -210,7 +215,18 @@ func NewPrivate(id int, cfg *config.Config, q *event.Queue, dir *Directory, st *
 	p.cLoads = st.Counter("l1d_reads")
 	p.cFillMerge = st.Counter("tus_fill_merges")
 	p.cL1SetOverflow = st.Counter("l1_alloc_fails")
+	p.hMSHROcc = st.Histogram("mshr_occupancy")
 	return p
+}
+
+// SetTracer attaches (or detaches, with nil) the lifecycle tracer.
+func (p *Private) SetTracer(t *trace.Tracer) { p.tr = t }
+
+// noteMSHRAlloc observes a fresh MSHR allocation (occupancy includes
+// the new entry; both demand and prefetch pools count).
+func (p *Private) noteMSHRAlloc(line uint64) {
+	p.hMSHROcc.Observe(uint64(len(p.mshrs)))
+	p.tr.Emit(trace.MSHRAlloc, int32(p.ID), p.q.Now(), line, 0, uint64(len(p.mshrs)))
 }
 
 // SetHandler installs the TUS handler. Must be called before simulation.
@@ -311,6 +327,7 @@ func (p *Private) Load(addr uint64, size uint8, cb func([]byte)) bool {
 	m := &mshrEntry{line: line, born: p.q.Now(), wantM: false, autoRetry: true}
 	m.loads = append(m.loads, loadWait{addr, size, cb})
 	p.mshrs[line] = m
+	p.noteMSHRAlloc(line)
 	p.send(m)
 	return true
 }
@@ -335,6 +352,7 @@ func (p *Private) PrefetchRead(line uint64) bool {
 	m := &mshrEntry{line: line, born: p.q.Now(), autoRetry: false, prefetch: true, lowLane: true}
 	p.mshrs[line] = m
 	p.prefMSHRs++
+	p.noteMSHRAlloc(line)
 	p.send(m)
 	return true
 }
@@ -382,6 +400,7 @@ func (p *Private) RequestWritable(line uint64, prefetch, autoRetry bool, cb func
 	if prefetch {
 		p.prefMSHRs++
 	}
+	p.noteMSHRAlloc(line)
 	p.send(m)
 	return true
 }
@@ -402,6 +421,7 @@ func (p *Private) send(m *mshrEntry) {
 			if len(m.loads) > 0 {
 				m2 := &mshrEntry{line: m.line, born: p.q.Now(), wantM: false, autoRetry: true, loads: m.loads}
 				p.mshrs[m.line] = m2
+				p.noteMSHRAlloc(m.line)
 				p.send(m2)
 			}
 			return
@@ -414,6 +434,12 @@ func (p *Private) send(m *mshrEntry) {
 func (p *Private) freeMSHR(m *mshrEntry) {
 	if p.mshrs[m.line] == m {
 		delete(p.mshrs, m.line)
+		now := p.q.Now()
+		var lat uint64
+		if now >= m.born {
+			lat = now - m.born
+		}
+		p.tr.Emit(trace.MSHRFree, int32(p.ID), now, m.line, 0, lat)
 	}
 	if m.prefetch {
 		p.prefMSHRs--
@@ -502,6 +528,7 @@ func (p *Private) fill(m *mshrEntry, data *LineData, excl bool) {
 		// the write callbacks forward.
 		m2 := &mshrEntry{line: line, born: p.q.Now(), wantM: true, autoRetry: true, writeCbs: m.writeCbs}
 		p.mshrs[line] = m2
+		p.noteMSHRAlloc(line)
 		p.send(m2)
 	} else {
 		for _, cb := range m.writeCbs {
@@ -584,6 +611,7 @@ func (p *Private) StoreVisibleLine(line uint64, data *LineData, mask Mask) bool 
 	pl.L1Dirty = true
 	p.touch1(pl)
 	p.cL1Write.Inc()
+	p.tr.Emit(trace.StoreVisibleEv, int32(p.ID), p.q.Now(), line, 0, 0)
 	if p.OnStoreVisible != nil {
 		p.OnStoreVisible(line, mask, &pl.L1Data)
 	}
@@ -773,6 +801,7 @@ func (p *Private) MakeVisible(line uint64) {
 	pl.UMask = 0
 	pl.State = StateM
 	pl.L1Dirty = true
+	p.tr.Emit(trace.StoreVisibleEv, int32(p.ID), p.q.Now(), pl.Line, 0, 0)
 	if p.OnStoreVisible != nil {
 		p.OnStoreVisible(pl.Line, mask, &pl.L1Data)
 	}
@@ -963,6 +992,7 @@ func (p *Private) writeBack(line uint64, data *LineData) {
 // directory. It runs synchronously at probe-arrival time.
 func (p *Private) Probe(line uint64, kind ProbeKind) ProbeReply {
 	line &= LineMask
+	p.tr.Emit(trace.ProbeRecv, int32(p.ID), p.q.Now(), line, 0, uint64(kind))
 	if kind == ProbeInv && p.OnLineLost != nil {
 		p.OnLineLost(line)
 	}
@@ -986,6 +1016,7 @@ func (p *Private) Probe(line uint64, kind ProbeKind) ProbeReply {
 		}
 		if action == ActionDelay {
 			p.cNack.Inc()
+			p.tr.Emit(trace.ProbeNackEv, int32(p.ID), p.q.Now(), line, 0, 0)
 			return ProbeReply{Result: ProbeNack}
 		}
 		p.cRelinquish.Inc()

@@ -48,6 +48,9 @@ type Set struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
 	order    []string
+
+	hists     map[string]*Histogram
+	histOrder []string
 }
 
 // NewSet creates a stats registry. The prefix (e.g. "core0") is
@@ -116,10 +119,14 @@ func (s *Set) snapshotOrdered() ([]string, []uint64) {
 // source counter contributes the value it held when Merge sampled it.
 func (s *Set) Merge(other *Set) {
 	names, vals := other.snapshotOrdered()
+	hnames, hsnaps := other.snapshotHists()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for i, name := range names {
 		s.counter(name).Add(vals[i])
+	}
+	for i, name := range hnames {
+		s.histogram(name).add(hsnaps[i])
 	}
 }
 
@@ -154,12 +161,17 @@ func (s *Set) Subtract(snap map[string]uint64) {
 	}
 }
 
-// Reset zeroes all counters, keeping handles valid.
+// Reset zeroes all counters and histograms, keeping handles valid.
+// (Warm-up discard resets; Subtract is counter-only and leaves
+// histograms alone, which the harness never relies on.)
 func (s *Set) Reset() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, c := range s.counters {
 		c.v.Store(0)
+	}
+	for _, h := range s.hists {
+		h.reset()
 	}
 }
 
@@ -174,6 +186,15 @@ func (s *Set) String() string {
 	var b strings.Builder
 	for _, n := range names {
 		fmt.Fprintf(&b, "%s.%s = %d\n", s.prefix, n, byName[n])
+	}
+	hnames, hsnaps := s.snapshotHists()
+	byHist := make(map[string]HistSnapshot, len(hnames))
+	for i, n := range hnames {
+		byHist[n] = hsnaps[i]
+	}
+	sort.Strings(hnames)
+	for _, n := range hnames {
+		fmt.Fprintf(&b, "%s.%s: %s\n", s.prefix, n, byHist[n])
 	}
 	return b.String()
 }

@@ -15,6 +15,7 @@ import (
 	"tusim/internal/memsys"
 	"tusim/internal/prefetch"
 	"tusim/internal/stats"
+	"tusim/internal/trace"
 	"tusim/internal/tus"
 )
 
@@ -53,6 +54,7 @@ type System struct {
 	CoreStats []*stats.Set
 	Cycles    uint64
 	observer  Observer
+	tracer    *trace.Tracer
 	dram      *memsys.DRAM
 	faults    *faults.Injector
 	auditErr  *faults.ProtocolError
@@ -159,6 +161,34 @@ func (s *System) SetObserver(o Observer) {
 	}
 }
 
+// tracerSetter is implemented by every component that accepts a
+// lifecycle tracer. Mechanisms opt in by implementing it; Base/SPB
+// drain through the SB pop hook and need no tracer of their own.
+type tracerSetter interface{ SetTracer(*trace.Tracer) }
+
+// SetTracer attaches a store-lifecycle tracer to every layer of the
+// machine (cores, private hierarchies, directory, mechanisms). Pass nil
+// to detach. Tracing is observational only: timing, stats, and figures
+// are byte-identical with it on or off.
+func (s *System) SetTracer(t *trace.Tracer) {
+	s.tracer = t
+	s.Dir.SetTracer(t)
+	for _, c := range s.Cores {
+		c.SetTracer(t)
+	}
+	for _, p := range s.Privs {
+		p.SetTracer(t)
+	}
+	for _, m := range s.Mechs {
+		if ts, ok := m.(tracerSetter); ok {
+			ts.SetTracer(t)
+		}
+	}
+}
+
+// Tracer returns the tracer installed with SetTracer (nil when none).
+func (s *System) Tracer() *trace.Tracer { return s.tracer }
+
 // SetAuditor schedules a periodic state-invariant audit (before Run).
 // The audit rides the event queue, so it interleaves deterministically
 // with the simulation; a violation aborts the run with a CrashReport.
@@ -226,6 +256,8 @@ func (s *System) Run() (err error) {
 			for _, st := range s.CoreStats {
 				st.Reset()
 			}
+			// The trace covers the measurement region, like the stats.
+			s.tracer.Reset()
 		}
 		if committed != lastCommitted {
 			lastCommitted = committed

@@ -1,0 +1,121 @@
+package tso_test
+
+// FuzzOracleVsChecker extends the oracle cross-validation from the
+// fixed litmus suite to fuzzer-generated programs: random small TSO
+// programs are enumerated through the operational x86-TSO oracle, and
+// every complete interleaving it allows must replay through tso.Checker
+// with zero violations (the no-false-positive direction), with the
+// checker's final visible memory agreeing with the oracle's.
+
+import (
+	"sort"
+	"testing"
+
+	"tusim/internal/isa"
+	"tusim/internal/litmus"
+	"tusim/internal/modelcheck"
+)
+
+// fuzzBase places fuzz program locations where the litmus suite puts
+// its own (distinct cache lines, 8-byte aligned).
+const fuzzBase = uint64(1) << 33
+
+// fuzzMaxOps bounds program size so the oracle's path enumeration
+// stays litmus-scale per fuzz iteration.
+const fuzzMaxOps = 8
+
+// fuzzMaxTraces caps replayed interleavings per program.
+const fuzzMaxTraces = 256
+
+// programFromBytes decodes fuzz data into a checkable-IR program:
+// byte 0 selects 2 or 3 threads; each following byte encodes
+// (thread, op kind, address index) as bitfields. Store ranks follow the
+// IR convention (k-th store to an address in program-scan order writes
+// k) and every load records into an outcome slot in thread-major order,
+// mirroring litmus.Test.Program.
+func programFromBytes(data []byte) (litmus.Program, bool) {
+	if len(data) < 2 {
+		return litmus.Program{}, false
+	}
+	nThreads := 2 + int(data[0])%2
+	p := litmus.Program{Name: "fuzz", Threads: make([][]litmus.ProgOp, nThreads)}
+	total := 0
+	for _, b := range data[1:] {
+		if total >= fuzzMaxOps {
+			break
+		}
+		th := int(b&3) % nThreads
+		addr := fuzzBase + uint64((b>>4)&3)%3*64
+		switch (b >> 2) & 3 {
+		case 0:
+			p.Threads[th] = append(p.Threads[th], litmus.ProgOp{Kind: isa.Store, Addr: addr})
+		case 1:
+			p.Threads[th] = append(p.Threads[th], litmus.ProgOp{Kind: isa.Load, Addr: addr, Obs: -1})
+		case 2:
+			p.Threads[th] = append(p.Threads[th], litmus.ProgOp{Kind: isa.Fence, Obs: -1})
+		default:
+			continue // skip byte: lets the fuzzer vary op density
+		}
+		total++
+	}
+	if total == 0 {
+		return litmus.Program{}, false
+	}
+	ranks := map[uint64]uint64{}
+	for t := range p.Threads {
+		for i := range p.Threads[t] {
+			op := &p.Threads[t][i]
+			switch op.Kind {
+			case isa.Store:
+				ranks[op.Addr]++
+				op.Val = ranks[op.Addr]
+			case isa.Load:
+				op.Obs = p.NumObs
+				p.NumObs++
+			}
+		}
+	}
+	for a := range ranks {
+		p.FinalReads = append(p.FinalReads, a)
+	}
+	sort.Slice(p.FinalReads, func(i, j int) bool { return p.FinalReads[i] < p.FinalReads[j] })
+	return p, true
+}
+
+func FuzzOracleVsChecker(f *testing.F) {
+	// Classic shapes as corpus seeds (encoding per programFromBytes):
+	// MP (st x; st y || ld y; ld x), SB (st x; ld y || st y; ld x),
+	// a fenced 3-thread variant, and a same-address store race.
+	f.Add([]byte{0, 0x00, 0x10, 0x15, 0x05})
+	f.Add([]byte{0, 0x00, 0x14, 0x11, 0x04})
+	f.Add([]byte{1, 0x00, 0x08, 0x10, 0x15, 0x06, 0x02})
+	f.Add([]byte{0, 0x00, 0x01, 0x00, 0x04, 0x05})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, ok := programFromBytes(data)
+		if !ok {
+			t.Skip()
+		}
+		traces, _ := modelcheck.Traces(p, fuzzMaxTraces)
+		for _, tr := range traces {
+			ck := replayTrace(len(p.Threads), tr)
+			if err := ck.Err(); err != nil {
+				t.Fatalf("checker flagged a TSO-allowed interleaving\nprogram: %+v\ntrace: %v\nerror: %v", p, tr, err)
+			}
+			// A complete oracle trace drains every store, so the
+			// checker's visible memory must end at the oracle's: the
+			// last drain per address wins.
+			final := map[uint64]uint64{}
+			for _, s := range tr {
+				if s.Kind == modelcheck.StepDrain {
+					final[s.Addr] = s.Val
+				}
+			}
+			for addr, rank := range final {
+				if got := ck.VisibleByte(addr); got != byte(rank) {
+					t.Fatalf("final memory disagrees at %#x: checker=%d oracle=%d\ntrace: %v", addr, got, rank, tr)
+				}
+			}
+		}
+	})
+}

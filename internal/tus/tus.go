@@ -17,6 +17,7 @@ import (
 	"tusim/internal/faults"
 	"tusim/internal/memsys"
 	"tusim/internal/stats"
+	"tusim/internal/trace"
 	"tusim/internal/wcb"
 )
 
@@ -77,6 +78,10 @@ type TUS struct {
 	cGroupLen              *stats.Counter
 	cStoresVisible         *stats.Counter
 	cWCBSearch             *stats.Counter
+
+	hWOQOcc, hUnauthRes *stats.Histogram
+
+	tr *trace.Tracer
 }
 
 // tusIdleFlush bounds how long coalesced stores linger in the WCBs
@@ -104,10 +109,15 @@ func New(core *cpu.Core, cfg *config.Config, q *event.Queue, st *stats.Set) *TUS
 		cGroupLen:      st.Counter("tus_group_lines"),
 		cStoresVisible: st.Counter("tus_lines_made_visible"),
 		cWCBSearch:     st.Counter("wcb_searches"),
+		hWOQOcc:        st.Histogram("woq_occupancy"),
+		hUnauthRes:     st.Histogram("tus_unauth_residency"),
 	}
 	t.priv.SetHandler(t)
 	return t
 }
+
+// SetTracer attaches (or detaches, with nil) the lifecycle tracer.
+func (t *TUS) SetTracer(tr *trace.Tracer) { t.tr = tr }
 
 // SetFaults installs a fault injector on the drain path (nil disables).
 func (t *TUS) SetFaults(in *faults.Injector, st *stats.Set) {
@@ -126,6 +136,7 @@ func (t *TUS) lex(line uint64) uint64 { return wcb.Lex(line, t.cfg.LexBits) }
 
 // Tick implements cpu.DrainMechanism.
 func (t *TUS) Tick() {
+	t.hWOQOcc.Observe(uint64(len(t.woq)))
 	t.advanceVisibility()
 	t.reRequest()
 
@@ -184,6 +195,7 @@ func (t *TUS) Tick() {
 
 		switch t.wcbs.Insert(e.Addr, e.Data[:e.Size]) {
 		case wcb.Inserted:
+			t.tr.Emit(trace.WCBCoalesce, int32(t.core.ID), t.q.Now(), e.Addr, e.Seq, 0)
 			t.core.SB.Pop()
 			t.cDrained.Inc()
 		case wcb.NeedFlush, wcb.LexConflict:
@@ -283,6 +295,7 @@ func (t *TUS) tryAdmit() bool {
 					"StoreOverVisibleLine failed after admission checks"))
 			}
 			t.append(&woqEntry{line: it.line, born: t.q.Now(), group: gid, canCycle: true, ready: true, hasPerm: true})
+			t.tr.Emit(trace.AuthWrite, int32(t.core.ID), t.q.Now(), it.line, 0, uint64(gid))
 		default:
 			if !t.priv.StoreUnauthorizedLine(it.line, &it.data, it.mask) {
 				panic(faults.Violationf("tus", t.core.ID, it.line, "admission-checked",
@@ -290,6 +303,7 @@ func (t *TUS) tryAdmit() bool {
 			}
 			e := &woqEntry{line: it.line, born: t.q.Now(), group: gid, canCycle: true}
 			t.append(e)
+			t.tr.Emit(trace.UnauthWrite, int32(t.core.ID), t.q.Now(), it.line, 0, uint64(gid))
 			t.request(e)
 		}
 	}
@@ -361,6 +375,11 @@ func (t *TUS) firstOfGroup(gid int) int {
 func (t *TUS) request(e *woqEntry) {
 	line := e.line
 	e.requested = true
+	var gated uint64
+	if e.gated {
+		gated = 1
+	}
+	t.tr.Emit(trace.PermRequest, int32(t.core.ID), t.q.Now(), line, 0, gated)
 	ok := t.priv.RequestWritable(line, false, false, func(granted bool) {
 		if granted {
 			return // HandleFill already recorded it
@@ -444,11 +463,18 @@ func (t *TUS) advanceVisibility() {
 		if !ready {
 			return
 		}
+		now := t.q.Now()
 		for i := 0; i < n; i++ {
 			e := t.woq[i]
 			t.priv.MakeVisible(e.line)
 			delete(t.byLine, e.line)
 			t.cStoresVisible.Inc()
+			var res uint64
+			if now >= e.born {
+				res = now - e.born
+			}
+			t.hUnauthRes.Observe(res)
+			t.tr.Emit(trace.WOQRelease, int32(t.core.ID), now, e.line, 0, res)
 		}
 		t.woq = t.woq[n:]
 		t.cVisibleGroups.Inc()
@@ -516,6 +542,7 @@ func (t *TUS) HandleFill(line uint64) {
 	e.ready = true
 	e.requested = false
 	e.gated = false
+	t.tr.Emit(trace.PermGrant, int32(t.core.ID), t.q.Now(), line, 0, 0)
 	t.advanceVisibility()
 }
 
@@ -530,6 +557,7 @@ func (t *TUS) HandleRelinquish(line uint64) {
 	e.requested = false
 	e.gated = true
 	e.retryAt = t.q.Now() + t.cfg.NetLatency
+	t.tr.Emit(trace.PermRelinquish, int32(t.core.ID), t.q.Now(), line, 0, 0)
 }
 
 // ---------- Load path / fences ----------

@@ -1,0 +1,56 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"tusim/internal/isa"
+)
+
+// FuzzWorkloadTrace fuzzes the workload generators across (benchmark,
+// seed, length) and pins the invariants every consumer relies on:
+//
+//   - shape: one trace per hardware thread, exactly `ops` micro-ops each
+//   - validity: isa.Validate accepts every trace (sizes, line crossing,
+//     dependency bounds)
+//   - alignment: every memory op is an 8-byte access on an 8-byte
+//     boundary (the litmus IR, the TSO checker's mask math, and the
+//     WCB coalescing model all assume this)
+//   - determinism: the same (benchmark, seed, ops) triple generates a
+//     byte-identical trace every time — the content-addressed result
+//     cache and every golden test depend on it
+func FuzzWorkloadTrace(f *testing.F) {
+	f.Add(int64(1), uint16(2000), byte(0))
+	f.Add(int64(42), uint16(500), byte(7))
+	f.Add(int64(-3), uint16(1), byte(255))
+	f.Add(int64(123456789), uint16(4095), byte(19))
+
+	benchs := All()
+	f.Fuzz(func(t *testing.T, seed int64, opsRaw uint16, sel byte) {
+		b := benchs[int(sel)%len(benchs)]
+		ops := int(opsRaw)%4096 + 1
+
+		traces := b.Generate(seed, ops)
+		if len(traces) != b.Threads {
+			t.Fatalf("%s: %d traces, want %d threads", b.Name, len(traces), b.Threads)
+		}
+		for ti, tr := range traces {
+			if len(tr) != ops {
+				t.Fatalf("%s[%d] seed=%d: %d ops, want %d", b.Name, ti, seed, len(tr), ops)
+			}
+			if err := isa.Validate(tr); err != nil {
+				t.Fatalf("%s[%d] seed=%d: %v", b.Name, ti, seed, err)
+			}
+			for i, op := range tr {
+				if op.Kind.IsMem() && (op.Addr%8 != 0 || op.Size != 8) {
+					t.Fatalf("%s[%d] seed=%d op %d: unaligned access %v", b.Name, ti, seed, i, op)
+				}
+			}
+		}
+
+		again := b.Generate(seed, ops)
+		if !reflect.DeepEqual(traces, again) {
+			t.Fatalf("%s seed=%d ops=%d: generator is not deterministic", b.Name, seed, ops)
+		}
+	})
+}
