@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test short race race-harness check smoke chaos litmus figs figures-par fuzz cover trace-smoke
+.PHONY: all build vet test short race race-harness check smoke chaos litmus figs figures-par fuzz cover trace-smoke resume-smoke clean
 
 all: vet build test
 
@@ -23,10 +23,10 @@ race:
 	$(GO) test -short -race ./internal/system/ ./internal/litmus/
 
 # race-harness: the parallel experiment harness (worker pool, result
-# cache, stats merging) under the race detector, including the
-# serial-vs-parallel byte-identity tests.
+# cache, stats merging, supervision layer) under the race detector,
+# including the serial-vs-parallel byte-identity tests.
 race-harness:
-	$(GO) test -race ./internal/harness/... ./internal/stats/...
+	$(GO) test -race ./internal/harness/... ./internal/stats/... ./internal/supervise/...
 
 # check: model-check the simulator against the operational x86-TSO
 # oracle — every litmus program × {base, CSB, TUS}, bounded-exhaustive
@@ -81,3 +81,16 @@ cover:
 # Perfetto-loadable Chrome trace JSON with the full store lifecycle.
 trace-smoke:
 	$(GO) run ./cmd/tusim -bench 502.gcc5 -mech TUS -ops 20000 -trace -trace-out trace.json
+
+# resume-smoke: SIGKILL a journaled figure run mid-matrix, resume it
+# from the .tusjournal run journal + result cache, and require the
+# resumed output to be byte-identical to an uninterrupted run.
+resume-smoke:
+	bash scripts/resume_smoke.sh
+
+# clean: drop run-local state — the content-addressed result cache,
+# stale run journals, and scratch artifacts. Never touches committed
+# records (BENCH_harness.json, golden files).
+clean:
+	rm -rf .tuscache .tusjournal
+	rm -f cover.out trace.json tus-crash.json mc-crash.json

@@ -17,10 +17,24 @@
 //	tusbench -j 0            # parallel across all CPUs (default)
 //	tusbench -cache DIR      # persistent content-addressed result cache
 //	tusbench -bench-out F    # write per-figure wall-clock to F (JSON)
+//	tusbench -journal        # record a crash-consistent run journal
+//	tusbench -resume ID      # resume a killed journaled run
 //
 // Parallel runs are byte-identical to -j 1: every figure fans its
 // independent (benchmark, mechanism, SB) cells out to a worker pool
 // and assembles output in deterministic cell order.
+//
+// Every cell runs under the supervision layer: panics are captured into
+// crash reports, transient chaos failures retry with backoff, and a
+// deterministically failing cell is quarantined so its figure degrades
+// to an explicit partial result instead of killing the run.
+//
+// With -journal, the run appends a crash-consistent record of every
+// cell start/finish to .tusjournal/<run-id>.jsonl; after a crash or
+// SIGKILL, `tusbench -resume <run-id> -cache DIR` replays the run,
+// serving completed cells from the result cache and keeping quarantined
+// cells quarantined. Resumed output is byte-identical to an
+// uninterrupted run (all resume chatter goes to stderr).
 package main
 
 import (
@@ -31,8 +45,23 @@ import (
 
 	"tusim/internal/config"
 	"tusim/internal/harness"
+	"tusim/internal/supervise"
 	"tusim/internal/workload"
 )
+
+// runHeader is the journal's run_start payload: everything needed to
+// reconstruct the run's result-determining settings on resume.
+type runHeader struct {
+	Mode        string `json:"mode"` // "figs" or "json"
+	Fig         int    `json:"fig,omitempty"`
+	Quick       bool   `json:"quick,omitempty"`
+	Ops         int    `json:"ops"`
+	ParallelOps int    `json:"parallel_ops"`
+	Seed        int64  `json:"seed"`
+	Check       bool   `json:"check,omitempty"`
+	Workers     int    `json:"workers,omitempty"`
+	Cache       string `json:"cache,omitempty"`
+}
 
 func main() {
 	fig := flag.Int("fig", 0, "regenerate one figure (8-15); 0 = all")
@@ -50,6 +79,9 @@ func main() {
 	workers := flag.Int("j", 0, "max concurrent simulation cells (0 = all CPUs, 1 = serial)")
 	cacheDir := flag.String("cache", "", "persistent result cache directory (empty = off)")
 	benchOut := flag.String("bench-out", "", "write per-figure timing report to this file (e.g. BENCH_harness.json)")
+	journalOn := flag.Bool("journal", false, "record a crash-consistent run journal under -journal-dir")
+	journalDir := flag.String("journal-dir", ".tusjournal", "run journal directory")
+	resume := flag.String("resume", "", "resume a killed journaled run by its run ID")
 	flag.Parse()
 
 	if *table != "" {
@@ -63,6 +95,65 @@ func main() {
 			os.Exit(2)
 		}
 		return
+	}
+
+	mode := "figs"
+	if *jsonOut {
+		mode = "json"
+	}
+	hdr := runHeader{
+		Mode:        mode,
+		Fig:         *fig,
+		Quick:       *quick,
+		Ops:         *ops,
+		ParallelOps: *pops,
+		Seed:        *seed,
+		Check:       *check,
+		Workers:     *workers,
+		Cache:       *cacheDir,
+	}
+
+	// A resumed run reconstructs its result-determining settings from
+	// the journal header; only -j (wall-clock-only) may be overridden on
+	// the resume command line.
+	var resumeState *supervise.RunState
+	if *resume != "" {
+		st, err := supervise.Load(*journalDir, *resume)
+		if err != nil {
+			fail(err)
+		}
+		for _, w := range st.Warnings {
+			fmt.Fprintf(os.Stderr, "tusbench: journal %s: %s\n", *resume, w)
+		}
+		var h runHeader
+		if err := json.Unmarshal(st.Header, &h); err != nil {
+			fail(fmt.Errorf("journal %s: bad run header: %w", *resume, err))
+		}
+		jExplicit := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "j" {
+				jExplicit = true
+			}
+		})
+		if !jExplicit {
+			*workers = h.Workers
+		}
+		h.Workers = *workers
+		hdr = h
+		*quick = h.Quick
+		*ops = h.Ops
+		*pops = h.ParallelOps
+		*seed = h.Seed
+		*check = h.Check
+		*cacheDir = h.Cache
+		*fig = h.Fig
+		resumeState = st
+		if st.Finished {
+			fmt.Fprintf(os.Stderr, "tusbench: run %s already finished; replaying from cache\n", *resume)
+		}
+		if h.Cache == "" {
+			fmt.Fprintf(os.Stderr, "tusbench: warning: run %s had no result cache; completed cells will resimulate\n", *resume)
+		}
 	}
 
 	r := harness.NewRunner()
@@ -86,6 +177,49 @@ func main() {
 		}
 		r.Cache = cache
 	}
+	r.Supervisor = harness.NewSupervisor(config.Default().CellTimeout)
+
+	var journal *supervise.Journal
+	switch {
+	case resumeState != nil:
+		for k, reason := range resumeState.Quarantined {
+			r.Supervisor.Quarantine(k, reason)
+		}
+		j, err := supervise.OpenAppend(*journalDir, *resume, resumeState.NextSeq)
+		if err != nil {
+			fail(err)
+		}
+		journal = j
+		fmt.Fprintf(os.Stderr, "tusbench: resuming run %s: %d cells done, %d quarantined, %d were in flight\n",
+			*resume, len(resumeState.Done), len(resumeState.Quarantined), len(resumeState.InFlight))
+	case *journalOn:
+		id := supervise.NewRunID()
+		j, err := supervise.Create(*journalDir, id, hdr)
+		if err != nil {
+			fail(err)
+		}
+		journal = j
+		fmt.Fprintf(os.Stderr, "tusbench: journaling run %s (resume with: tusbench -resume %s -journal-dir %s)\n",
+			id, id, *journalDir)
+	}
+	if journal != nil {
+		r.Supervisor.SetJournal(journal)
+	}
+	// finish commits clean completion to the journal and surfaces any
+	// figure degradations on stderr (stdout carries only figure output).
+	finish := func() {
+		if journal != nil {
+			journal.Finish()
+			journal.Close()
+		}
+		if deg := r.DegradedCells(); len(deg) > 0 {
+			fmt.Fprintf(os.Stderr, "tusbench: warning: %d figure cells degraded by quarantine:\n", len(deg))
+			for _, d := range deg {
+				fmt.Fprintf(os.Stderr, "  %s: %s: %s\n", d.Figure, d.Cell, d.Reason)
+			}
+		}
+	}
+
 	rec := harness.NewBenchRecorder(r)
 	emitBench := func() {
 		if *benchOut == "" {
@@ -96,7 +230,7 @@ func main() {
 		}
 	}
 
-	if *jsonOut {
+	if hdr.Mode == "json" {
 		rep, err := harness.BuildJSON(r, rec)
 		if err != nil {
 			fail(err)
@@ -106,6 +240,7 @@ func main() {
 		if err := enc.Encode(rep); err != nil {
 			fail(err)
 		}
+		finish()
 		emitBench()
 		return
 	}
@@ -116,6 +251,7 @@ func main() {
 			fail(err)
 		}
 		harness.PrintDSE(os.Stdout, points)
+		finish()
 		return
 	}
 
@@ -125,6 +261,7 @@ func main() {
 			fail(err)
 		}
 		harness.PrintHistograms(os.Stdout, rows)
+		finish()
 		return
 	}
 
@@ -132,6 +269,7 @@ func main() {
 		if err := printSummary(r); err != nil {
 			fail(err)
 		}
+		finish()
 		return
 	}
 
@@ -149,6 +287,7 @@ func main() {
 	if *fig == 0 {
 		harness.PrintCAMTable(os.Stdout)
 	}
+	finish()
 	emitBench()
 }
 

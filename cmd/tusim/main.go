@@ -298,6 +298,7 @@ func reportCrash(err error) {
 	fmt.Fprintln(os.Stderr, "tusim:", err)
 	var cr *system.CrashReport
 	if errors.As(err, &cr) {
+		fmt.Fprintf(os.Stderr, "classification: %s\n", cr.Classification())
 		if data, jerr := json.MarshalIndent(cr, "", "  "); jerr == nil {
 			fmt.Fprintf(os.Stderr, "crash report:\n%s\n", data)
 		}

@@ -5,6 +5,7 @@ package config
 import (
 	"fmt"
 	"strings"
+	"time"
 )
 
 // Mechanism selects the store-handling policy under evaluation.
@@ -150,11 +151,25 @@ type Config struct {
 	// trips (system.Run then returns a CrashReport). Zero selects
 	// DefaultWatchdogWindow.
 	WatchdogWindow uint64
+
+	// CellTimeout is the wall-clock deadline the harness supervisor
+	// applies to one experiment cell before calibration has produced a
+	// per-class estimate (once cells complete, deadlines derive from
+	// observed runtimes instead). Purely a harness-robustness knob: it
+	// cannot change any simulation result, so the result cache excludes
+	// it from cell identity. Zero selects DefaultCellTimeout.
+	CellTimeout time.Duration
 }
 
 // DefaultWatchdogWindow is the no-commit-progress bound used when
 // Config.WatchdogWindow is zero.
 const DefaultWatchdogWindow = 2_000_000
+
+// DefaultCellTimeout is the uncalibrated per-cell supervision deadline
+// used when Config.CellTimeout is zero. Generous on purpose: a full-
+// scale single cell is minutes at worst, and false deadline trips cost
+// a pointless retry.
+const DefaultCellTimeout = 10 * time.Minute
 
 // Default returns the Table I configuration with a 114-entry SB and the
 // baseline mechanism on a single core.
@@ -206,6 +221,7 @@ func Default() *Config {
 
 		MaxCycles:      1 << 34,
 		WatchdogWindow: DefaultWatchdogWindow,
+		CellTimeout:    DefaultCellTimeout,
 	}
 }
 
@@ -261,6 +277,9 @@ func (c *Config) ForwardLatency() uint64 {
 func (c *Config) Validate() error {
 	if c.Cores < 1 {
 		return fmt.Errorf("config: Cores = %d, need >= 1", c.Cores)
+	}
+	if c.CellTimeout < 0 {
+		return fmt.Errorf("config: CellTimeout = %v, need >= 0", c.CellTimeout)
 	}
 	if c.SBEntries < 1 {
 		return fmt.Errorf("config: SBEntries = %d, need >= 1", c.SBEntries)

@@ -36,6 +36,11 @@ type BenchReport struct {
 	CellSeconds     float64 `json:"cell_seconds"`
 	CellsRun        int     `json:"cells_run"`
 	CellsCached     int     `json:"cells_cached"`
+	// CacheCorrupt counts disk-cache entries that existed but failed to
+	// decode or validate; each one was resimulated. Nonzero means the
+	// cache directory is rotting (torn writes, version skew, bit flips)
+	// even though results stayed correct.
+	CacheCorrupt    int     `json:"cache_corrupt"`
 	ParallelSpeedup float64 `json:"parallel_speedup"`
 }
 
@@ -79,6 +84,7 @@ func (b *BenchRecorder) Report() BenchReport {
 		CellSeconds:     cell,
 		CellsRun:        int(b.r.cellsRun.Load()),
 		CellsCached:     int(b.r.cellsFromC.Load()),
+		CacheCorrupt:    int(b.r.cacheCorrupt.Load()),
 		ParallelSpeedup: speedup,
 	}
 }

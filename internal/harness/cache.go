@@ -38,9 +38,14 @@ func NewDiskCache(dir string) (*DiskCache, error) {
 }
 
 // contentKey hashes everything that determines a cell's result.
+// Supervision-only knobs (the cell deadline) are zeroed out first: they
+// cannot change a simulation outcome, so two runs differing only in
+// timeout policy must share cache entries.
 func (r *Runner) contentKey(b workload.Benchmark, cfg *config.Config) string {
+	hc := cfg.Clone()
+	hc.CellTimeout = 0
 	h := sha256.Sum256([]byte(fmt.Sprintf("%s|%s|seed=%d|ops=%d|check=%v|cfg=%+v",
-		HarnessVersion, b.Name, r.Seed, r.ops(b), r.Check, *cfg)))
+		HarnessVersion, b.Name, r.Seed, r.ops(b), r.Check, *hc)))
 	return hex.EncodeToString(h[:])
 }
 
@@ -69,22 +74,42 @@ func (c *DiskCache) path(key string) string {
 	return filepath.Join(c.Dir, key+".json")
 }
 
+// CacheStatus is the outcome of a cache probe. Corruption still
+// degrades to a fresh simulation (a corrupt entry behaves like a miss),
+// but the runner counts it and warns: a silently rotting cache
+// directory should be visible in BENCH_harness.json, not invisible.
+type CacheStatus int
+
+const (
+	// CacheMiss: no entry exists for the key.
+	CacheMiss CacheStatus = iota
+	// CacheHit: a valid entry was loaded.
+	CacheHit
+	// CacheCorrupt: an entry exists but is torn, garbage, or fails
+	// identity/shape validation; it will be resimulated and rewritten.
+	CacheCorrupt
+)
+
 // Get loads the cell stored under key, verifying it matches the
-// requested (bench, mech, sb) identity. Any mismatch or decode failure
-// is a miss.
-func (c *DiskCache) Get(key string, b workload.Benchmark, m config.Mechanism, sbSize int) (Result, bool) {
+// requested (bench, mech, sb) identity. A missing file is CacheMiss;
+// an unreadable, undecodable, or identity-mismatched entry is
+// CacheCorrupt. Both serve as a miss to the caller.
+func (c *DiskCache) Get(key string, b workload.Benchmark, m config.Mechanism, sbSize int) (Result, CacheStatus) {
 	data, err := os.ReadFile(c.path(key))
 	if err != nil {
-		return Result{}, false
+		if os.IsNotExist(err) {
+			return Result{}, CacheMiss
+		}
+		return Result{}, CacheCorrupt
 	}
 	var e cacheEntry
 	if err := json.Unmarshal(data, &e); err != nil {
-		return Result{}, false
+		return Result{}, CacheCorrupt
 	}
 	if e.Version != HarnessVersion || e.Bench != b.Name || e.Mech != m.String() ||
 		e.SB != sbSize || len(e.StatNames) != len(e.StatValues) ||
 		len(e.HistNames) != len(e.HistSnaps) || e.Cycles == 0 {
-		return Result{}, false
+		return Result{}, CacheCorrupt
 	}
 	st := stats.NewSet(e.StatPrefix)
 	for i, name := range e.StatNames {
@@ -102,7 +127,7 @@ func (c *DiskCache) Get(key string, b workload.Benchmark, m config.Mechanism, sb
 		Stats:  st,
 		Energy: e.Energy,
 		EDP:    e.EDP,
-	}, true
+	}, CacheHit
 }
 
 // Put stores res under key. Writes go through a temp file + rename so

@@ -5,6 +5,7 @@ import (
 	"path/filepath"
 	"reflect"
 	"testing"
+	"time"
 
 	"tusim/internal/config"
 	"tusim/internal/workload"
@@ -86,6 +87,12 @@ func TestDiskCacheCorruptEntryIsMiss(t *testing.T) {
 	if got.Cycles != want.Cycles {
 		t.Fatalf("recomputed cycles %d != original %d", got.Cycles, want.Cycles)
 	}
+	if warm.cacheCorrupt.Load() != 1 {
+		t.Fatalf("cache_corrupt = %d, want 1", warm.cacheCorrupt.Load())
+	}
+	if cold.cacheCorrupt.Load() != 0 {
+		t.Fatalf("cold runner counted %d corruptions, want 0", cold.cacheCorrupt.Load())
+	}
 }
 
 // TestContentKeySensitivity: the content hash must move when anything
@@ -122,6 +129,24 @@ func TestContentKeySensitivity(t *testing.T) {
 			t.Fatalf("content key for %q collides with %q", what, prev)
 		}
 		seen[key] = what
+	}
+}
+
+// TestContentKeyIgnoresCellTimeout: the supervision deadline is a
+// harness knob, not a simulation parameter — changing it must not
+// invalidate cached cells.
+func TestContentKeyIgnoresCellTimeout(t *testing.T) {
+	b, _ := workload.ByName("503.bw2")
+	r := NewQuickRunner()
+	cfg := config.Default().WithMechanism(config.TUS).WithSB(114).WithCores(b.Threads)
+	ref := r.contentKey(b, cfg)
+	mod := cfg.Clone()
+	mod.CellTimeout = 17 * time.Second
+	if got := r.contentKey(b, mod); got != ref {
+		t.Fatal("CellTimeout changed the content key; timeout tweaks would bust the cache")
+	}
+	if mod.CellTimeout != 17*time.Second {
+		t.Fatal("contentKey mutated its input config")
 	}
 }
 

@@ -55,10 +55,19 @@ type ReproBundle struct {
 	// Report is the diagnosis from the crashing run (informational;
 	// replay regenerates it).
 	Report *system.CrashReport `json:"report,omitempty"`
+	// Classification is the report's transient/deterministic verdict
+	// (see CrashReport.Classification): "transient" failures may not
+	// replay byte-for-byte under different host timing pressure, while
+	// "deterministic" ones must reproduce exactly. Derived from Report
+	// at save time.
+	Classification string `json:"classification,omitempty"`
 }
 
 // Save writes the bundle as indented JSON.
 func (b *ReproBundle) Save(path string) error {
+	if b.Report != nil {
+		b.Classification = b.Report.Classification()
+	}
 	data, err := json.MarshalIndent(b, "", "  ")
 	if err != nil {
 		return err
@@ -287,6 +296,7 @@ func ChaosLitmus(seed uint64, schedules, skews int, auditEvery uint64, workers i
 	var cr *system.CrashReport
 	if errors.As(failErr, &cr) {
 		res.Bundle.Report = cr
+		res.Bundle.Classification = cr.Classification()
 	}
 	return res, nil
 }
@@ -323,6 +333,7 @@ func ChaosBench(seed uint64, ops int, auditEvery uint64, workers int) (ChaosResu
 	var cr *system.CrashReport
 	if errors.As(failErr, &cr) {
 		res.Bundle.Report = cr
+		res.Bundle.Classification = cr.Classification()
 	}
 	return res, nil
 }

@@ -68,13 +68,19 @@ func Fig8(r *Runner) ([]Fig8Row, error) {
 			for _, m := range config.Mechanisms {
 				var sp []float64
 				for _, b := range s.benchs {
-					base, err := r.Run(b, config.Baseline, 114)
+					base, bok, err := r.runCell("fig8", b, config.Baseline, 114)
 					if err != nil {
 						return nil, err
 					}
-					res, err := r.Run(b, m, sb)
+					res, rok, err := r.runCell("fig8", b, m, sb)
 					if err != nil {
 						return nil, err
+					}
+					if !bok || !rok {
+						// Quarantined: the geomean degrades to the
+						// surviving benchmarks (recorded in the report's
+						// degraded section).
+						continue
 					}
 					sp = append(sp, Speedup(res, base))
 				}
@@ -140,14 +146,27 @@ func Fig9(r *Runner) ([]Fig9Row, error) {
 	var rows []Fig9Row
 	for _, b := range benchs {
 		row := Fig9Row{Bench: b.Name, Stalls: map[config.Mechanism]float64{}}
+		good := true
 		for _, m := range config.Mechanisms {
-			res, err := r.Run(b, m, 114)
+			res, ok, err := r.runCell("fig9", b, m, 114)
 			if err != nil {
 				return nil, err
 			}
+			if !ok {
+				good = false
+				continue
+			}
 			row.Stalls[m] = res.SBStallPct()
 		}
-		rows = append(rows, row)
+		// A row with any quarantined cell is dropped whole: a partial
+		// stall comparison would be misleading. The skip is recorded in
+		// the degraded section.
+		if good {
+			rows = append(rows, row)
+		}
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("fig9: every benchmark quarantined")
 	}
 	return rows, nil
 }
@@ -206,6 +225,7 @@ func Speedups(r *Runner, baselineSB, mechSB int) (*SpeedupStudy, error) {
 		SCurves:    map[config.Mechanism][]float64{},
 		Geomean:    map[config.Mechanism]float64{},
 	}
+	fig := fmt.Sprintf("speedups_%d_%d", baselineSB, mechSB)
 	all := workload.All()
 	if err := r.Prefetch(fullMatrix(all, baselineSB, mechSB)); err != nil {
 		return nil, err
@@ -213,13 +233,16 @@ func Speedups(r *Runner, baselineSB, mechSB int) (*SpeedupStudy, error) {
 	for _, m := range config.Mechanisms {
 		var sp []float64
 		for _, b := range all {
-			base, err := r.Run(b, config.Baseline, baselineSB)
+			base, bok, err := r.runCell(fig, b, config.Baseline, baselineSB)
 			if err != nil {
 				return nil, err
 			}
-			res, err := r.Run(b, m, mechSB)
+			res, rok, err := r.runCell(fig, b, m, mechSB)
 			if err != nil {
 				return nil, err
+			}
+			if !bok || !rok {
+				continue
 			}
 			sp = append(sp, Speedup(res, base))
 		}
@@ -235,20 +258,22 @@ func Speedups(r *Runner, baselineSB, mechSB int) (*SpeedupStudy, error) {
 	}
 	gm := map[config.Mechanism][]float64{}
 	for _, b := range benchs {
-		row := SpeedupRow{Bench: b.Name, Speedups: map[config.Mechanism]float64{}}
-		base, err := r.Run(b, config.Baseline, baselineSB)
+		base, resm, ok, err := r.rowResults(fig, b, baselineSB, mechSB)
 		if err != nil {
 			return nil, err
 		}
+		if !ok {
+			continue
+		}
+		row := SpeedupRow{Bench: b.Name, Speedups: map[config.Mechanism]float64{}}
 		for _, m := range config.Mechanisms {
-			res, err := r.Run(b, m, mechSB)
-			if err != nil {
-				return nil, err
-			}
-			row.Speedups[m] = Speedup(res, base)
+			row.Speedups[m] = Speedup(resm[m], base)
 			gm[m] = append(gm[m], row.Speedups[m])
 		}
 		study.Breakdown = append(study.Breakdown, row)
+	}
+	if len(study.Breakdown) == 0 {
+		return nil, fmt.Errorf("speedups %d/%d: every SB-bound benchmark quarantined", baselineSB, mechSB)
 	}
 	for m, xs := range gm {
 		g, err := Geomean(xs)
@@ -318,22 +343,25 @@ func EDP(r *Runner, benchs []workload.Benchmark, baselineSB, mechSB int) (*EDPSt
 	if err := r.Prefetch(fullMatrix(benchs, baselineSB, mechSB)); err != nil {
 		return nil, err
 	}
+	fig := fmt.Sprintf("edp_%d_%d", baselineSB, mechSB)
 	gm := map[config.Mechanism][]float64{}
 	for _, b := range benchs {
-		base, err := r.Run(b, config.Baseline, baselineSB)
+		base, resm, ok, err := r.rowResults(fig, b, baselineSB, mechSB)
 		if err != nil {
 			return nil, err
 		}
+		if !ok {
+			continue
+		}
 		row := EDPRow{Bench: b.Name, EDP: map[config.Mechanism]float64{}}
 		for _, m := range config.Mechanisms {
-			res, err := r.Run(b, m, mechSB)
-			if err != nil {
-				return nil, err
-			}
-			row.EDP[m] = res.EDP / base.EDP
+			row.EDP[m] = resm[m].EDP / base.EDP
 			gm[m] = append(gm[m], row.EDP[m])
 		}
 		study.Rows = append(study.Rows, row)
+	}
+	if len(study.Rows) == 0 {
+		return nil, fmt.Errorf("edp %d/%d: every benchmark quarantined", baselineSB, mechSB)
 	}
 	for m, xs := range gm {
 		g, err := Geomean(xs)
@@ -380,23 +408,26 @@ func Parsec(r *Runner, baselineSB, mechSB int) (*ParsecStudy, error) {
 	if err := r.Prefetch(fullMatrix(benchs, baselineSB, mechSB)); err != nil {
 		return nil, err
 	}
+	fig := fmt.Sprintf("parsec_%d_%d", baselineSB, mechSB)
 	sp := &EDPStudy{BaselineSB: baselineSB, MechSB: mechSB, Geomean: map[config.Mechanism]float64{}}
 	gm := map[config.Mechanism][]float64{}
 	for _, b := range benchs {
-		base, err := r.Run(b, config.Baseline, baselineSB)
+		base, resm, ok, err := r.rowResults(fig, b, baselineSB, mechSB)
 		if err != nil {
 			return nil, err
 		}
+		if !ok {
+			continue
+		}
 		row := EDPRow{Bench: b.Name, EDP: map[config.Mechanism]float64{}}
 		for _, m := range config.Mechanisms {
-			res, err := r.Run(b, m, mechSB)
-			if err != nil {
-				return nil, err
-			}
-			row.EDP[m] = Speedup(res, base)
+			row.EDP[m] = Speedup(resm[m], base)
 			gm[m] = append(gm[m], row.EDP[m])
 		}
 		sp.Rows = append(sp.Rows, row)
+	}
+	if len(sp.Rows) == 0 {
+		return nil, fmt.Errorf("parsec %d/%d: every benchmark quarantined", baselineSB, mechSB)
 	}
 	for m, xs := range gm {
 		g, err := Geomean(xs)

@@ -12,8 +12,10 @@
 package harness
 
 import (
+	"errors"
 	"fmt"
 	"math"
+	"os"
 	"runtime"
 	"sort"
 	"sync"
@@ -23,6 +25,7 @@ import (
 	"tusim/internal/config"
 	"tusim/internal/energy"
 	"tusim/internal/stats"
+	"tusim/internal/supervise"
 	"tusim/internal/system"
 	"tusim/internal/trace"
 	"tusim/internal/tso"
@@ -91,6 +94,15 @@ type Runner struct {
 	// Called from worker goroutines; the callback must be safe for
 	// concurrent use when Workers > 1.
 	OnTrace func(key string, t *trace.Tracer)
+	// Supervisor, when non-nil, runs every simulation inside the cell
+	// supervision layer: panic capture, calibrated deadlines, bounded
+	// retries for transient failures, and quarantine for deterministic
+	// ones. A quarantined cell surfaces as a *supervise.Quarantined
+	// error, which the figure builders degrade into a "degraded" report
+	// section instead of failing the run. Nil keeps the legacy behavior
+	// (any cell failure is fatal to its figure). Healthy runs are
+	// byte-identical either way.
+	Supervisor *supervise.Supervisor
 
 	mu    sync.Mutex
 	cells map[string]*cell
@@ -99,6 +111,31 @@ type Runner struct {
 	cellNanos  atomic.Int64
 	cellsRun   atomic.Int64
 	cellsFromC atomic.Int64
+	// cacheCorrupt counts disk-cache entries that existed but failed to
+	// decode or validate (each was resimulated); corruptOnce gates the
+	// single per-run warning.
+	cacheCorrupt atomic.Int64
+	corruptOnce  sync.Once
+
+	// degraded accumulates cells the figure builders skipped because of
+	// quarantine, keyed "figure|cell" for dedup.
+	degMu    sync.Mutex
+	degraded map[string]DegradedCell
+
+	// testHookSim, when set (tests only), runs before each simulation
+	// with the cell key; a non-nil return poisons the attempt with that
+	// error, letting tests inject deterministic and transient failures
+	// without touching the simulator.
+	testHookSim func(key string) error
+}
+
+// DegradedCell names one quarantined cell a figure had to skip, and
+// why. The JSON report collects these in its "degraded" section so a
+// partial run is explicit, never silent.
+type DegradedCell struct {
+	Figure string `json:"figure"`
+	Cell   string `json:"cell"`
+	Reason string `json:"reason"`
 }
 
 // cell is a singleflight slot: the first goroutine to claim a key
@@ -159,7 +196,8 @@ func (r *Runner) Run(b workload.Benchmark, m config.Mechanism, sbSize int) (Resu
 }
 
 // compute performs the actual simulation (or persistent-cache load)
-// behind Run's singleflight gate.
+// behind Run's singleflight gate, routing fresh simulations through the
+// supervisor when one is attached.
 func (r *Runner) compute(b workload.Benchmark, m config.Mechanism, sbSize int, key string) (Result, error) {
 	if !b.Valid() {
 		return Result{}, fmt.Errorf("harness: %s: unknown or zero-value benchmark", key)
@@ -167,12 +205,59 @@ func (r *Runner) compute(b workload.Benchmark, m config.Mechanism, sbSize int, k
 	cfg := config.Default().WithMechanism(m).WithSB(sbSize).WithCores(b.Threads)
 	ckey := r.contentKey(b, cfg)
 	if r.Cache != nil {
-		if res, ok := r.Cache.Get(ckey, b, m, sbSize); ok {
+		res, st := r.Cache.Get(ckey, b, m, sbSize)
+		switch st {
+		case CacheHit:
 			r.cellsFromC.Add(1)
 			if r.Verbose {
 				fmt.Printf("  hit %-28s cycles=%-10d (cache)\n", key, res.Cycles)
 			}
 			return res, nil
+		case CacheCorrupt:
+			r.cacheCorrupt.Add(1)
+			r.corruptOnce.Do(func() {
+				fmt.Fprintf(os.Stderr, "harness: warning: corrupt result-cache entry for %s (resimulating; further corruption counted silently in cache_corrupt)\n", key)
+			})
+		}
+	}
+	if r.Supervisor == nil {
+		return r.simulate(b, cfg, key, ckey)
+	}
+	// Supervised path. A deadline-abandoned attempt keeps running as a
+	// zombie goroutine (goroutines cannot be killed), so result
+	// publication is serialized: only the supervisor's winning attempt
+	// is returned, and a late zombie write cannot race it.
+	class := "st"
+	if b.Threads > 1 {
+		class = "mt"
+	}
+	var resMu sync.Mutex
+	var res Result
+	err := r.Supervisor.Do(key, class, func() error {
+		out, serr := r.simulate(b, cfg, key, ckey)
+		if serr != nil {
+			return serr
+		}
+		resMu.Lock()
+		res = out
+		resMu.Unlock()
+		return nil
+	})
+	resMu.Lock()
+	defer resMu.Unlock()
+	if err != nil {
+		return Result{}, err
+	}
+	return res, nil
+}
+
+// simulate runs one cell for real (no cache probe) and writes the
+// result back to the persistent cache.
+func (r *Runner) simulate(b workload.Benchmark, cfg *config.Config, key, ckey string) (Result, error) {
+	m, sbSize := cfg.Mechanism, cfg.SBEntries
+	if r.testHookSim != nil {
+		if err := r.testHookSim(key); err != nil {
+			return Result{}, err
 		}
 	}
 	start := time.Now()
@@ -238,11 +323,14 @@ func (r *Runner) compute(b workload.Benchmark, m config.Mechanism, sbSize int, k
 // completion order); with Workers <= 1 cells run serially in order and
 // Prefetch stops at the first failure, exactly like the pre-parallel
 // harness.
+// Quarantined cells are not Prefetch failures: the supervisor has
+// already contained them, and the figure builders degrade around them,
+// so the prefetch keeps filling every other cell.
 func (r *Runner) Prefetch(cells []Cell) error {
 	w := r.workers()
 	if w <= 1 || len(cells) <= 1 {
 		for _, c := range cells {
-			if _, err := r.Run(c.Bench, c.Mech, c.SB); err != nil {
+			if _, err := r.Run(c.Bench, c.Mech, c.SB); err != nil && !isQuarantined(err) {
 				return err
 			}
 		}
@@ -270,11 +358,123 @@ func (r *Runner) Prefetch(cells []Cell) error {
 	}
 	wg.Wait()
 	for _, err := range errs {
-		if err != nil {
+		if err != nil && !isQuarantined(err) {
 			return err
 		}
 	}
 	return nil
+}
+
+// isQuarantined reports whether err is a supervisor quarantine.
+func isQuarantined(err error) bool {
+	var q *supervise.Quarantined
+	return errors.As(err, &q)
+}
+
+// NewSupervisor builds the harness's standard supervision policy wired
+// to the simulator's crash classification: panics become CrashReports,
+// chaos-induced watchdog trips and deadline misses retry with
+// decorrelated-jitter backoff, and everything else quarantines on first
+// failure. timeout is the uncalibrated per-cell deadline (zero selects
+// config.DefaultCellTimeout).
+func NewSupervisor(timeout time.Duration) *supervise.Supervisor {
+	if timeout <= 0 {
+		timeout = config.DefaultCellTimeout
+	}
+	return supervise.New(supervise.Policy{
+		MaxRetries: 2,
+		Fallback:   timeout,
+		Transient: func(err error) bool {
+			var cr *system.CrashReport
+			if errors.As(err, &cr) {
+				return cr.Transient()
+			}
+			return false
+		},
+		WrapPanic: func(key string, v any, stack []byte) error {
+			return fmt.Errorf("harness: %s: %w", key, system.PanicReport(v, stack))
+		},
+		Warnf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+}
+
+// noteDegraded records a (figure, cell) skip for the report's
+// "degraded" section; duplicates collapse.
+func (r *Runner) noteDegraded(fig, cellKey, reason string) {
+	r.degMu.Lock()
+	defer r.degMu.Unlock()
+	if r.degraded == nil {
+		r.degraded = map[string]DegradedCell{}
+	}
+	k := fig + "|" + cellKey
+	if _, dup := r.degraded[k]; !dup {
+		r.degraded[k] = DegradedCell{Figure: fig, Cell: cellKey, Reason: reason}
+	}
+}
+
+// DegradedCells returns every recorded figure degradation, sorted by
+// (figure, cell) so reports serialize deterministically. Empty (and
+// nil) on a healthy run.
+func (r *Runner) DegradedCells() []DegradedCell {
+	r.degMu.Lock()
+	defer r.degMu.Unlock()
+	if len(r.degraded) == 0 {
+		return nil
+	}
+	out := make([]DegradedCell, 0, len(r.degraded))
+	for _, d := range r.degraded {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Figure != out[j].Figure {
+			return out[i].Figure < out[j].Figure
+		}
+		return out[i].Cell < out[j].Cell
+	})
+	return out
+}
+
+// runCell is Run plus quarantine degradation: a quarantined cell is
+// recorded under fig and reported as ok=false with a nil error, so
+// builders skip it; any other failure propagates.
+func (r *Runner) runCell(fig string, b workload.Benchmark, m config.Mechanism, sb int) (Result, bool, error) {
+	res, err := r.Run(b, m, sb)
+	if err == nil {
+		return res, true, nil
+	}
+	var q *supervise.Quarantined
+	if errors.As(err, &q) {
+		r.noteDegraded(fig, q.Key, q.Reason)
+		return Result{}, false, nil
+	}
+	return Result{}, false, err
+}
+
+// rowResults fetches one benchmark's full figure row: the baseline cell
+// at baseSB plus every mechanism at mechSB. ok is false when any of
+// those cells is quarantined (each quarantine is recorded under fig, and
+// the remaining cells are still probed so the degraded section lists
+// every poisoned cell, not just the first); hard errors propagate.
+func (r *Runner) rowResults(fig string, b workload.Benchmark, baseSB, mechSB int) (Result, map[config.Mechanism]Result, bool, error) {
+	base, good, err := r.runCell(fig, b, config.Baseline, baseSB)
+	if err != nil {
+		return Result{}, nil, false, err
+	}
+	out := make(map[config.Mechanism]Result, len(config.Mechanisms))
+	for _, m := range config.Mechanisms {
+		res, ok, err := r.runCell(fig, b, m, mechSB)
+		if err != nil {
+			return Result{}, nil, false, err
+		}
+		if !ok {
+			good = false
+			continue
+		}
+		out[m] = res
+	}
+	return base, out, good, nil
 }
 
 // parmap runs f(0..n-1) through the worker pool and returns the error
@@ -382,6 +582,13 @@ func (r *Runner) SortByBaselineStalls(benchs []workload.Benchmark, sb int) ([]wo
 	for _, b := range benchs {
 		res, err := r.Run(b, config.Baseline, sb)
 		if err != nil {
+			if isQuarantined(err) {
+				// A quarantined baseline sorts last; the figure builder
+				// will rediscover the quarantine per-cell and record the
+				// degradation under its own figure name.
+				kvs = append(kvs, kv{b, -1})
+				continue
+			}
 			return nil, err
 		}
 		kvs = append(kvs, kv{b, res.SBStallPct()})

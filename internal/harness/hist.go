@@ -35,9 +35,14 @@ func Histograms(r *Runner, sb int) ([]HistRow, error) {
 	var rows []HistRow
 	for _, b := range benchs {
 		for _, m := range config.Mechanisms {
-			res, err := r.Run(b, m, sb)
+			res, ok, err := r.runCell("histograms", b, m, sb)
 			if err != nil {
 				return nil, err
+			}
+			if !ok {
+				// Histogram rows are independent per cell, so a
+				// quarantined cell drops only its own row.
+				continue
 			}
 			snaps := res.Stats.HistSnapshots()
 			names := make([]string, 0, len(snaps))

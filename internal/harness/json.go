@@ -28,6 +28,10 @@ type JSONReport struct {
 	// Hists summarizes every occupancy/latency histogram of the ST
 	// SB-bound matrix at 114 SB (the Fig. 9 cells, so no extra runs).
 	Hists []HistJSON `json:"histograms"`
+	// Degraded lists every quarantined cell the figure builders had to
+	// skip; absent on a healthy run. A report with this section is an
+	// explicit partial result, never a silent one.
+	Degraded []DegradedCell `json:"degraded,omitempty"`
 }
 
 // Fig8JSON is one scalability row.
@@ -206,6 +210,7 @@ func BuildJSON(r *Runner, rec *BenchRecorder) (*JSONReport, error) {
 	}); err != nil {
 		return nil, err
 	}
+	rep.Degraded = r.DegradedCells()
 	return &rep, nil
 }
 

@@ -1,0 +1,58 @@
+package supervise
+
+import (
+	"sync"
+	"time"
+)
+
+// Calibrator derives per-class cell deadlines from observed runtimes:
+// the deadline for a class is a multiple of the slowest completion seen
+// so far, floored so sub-millisecond classes cannot produce flaky
+// deadlines, and falling back to the policy timeout until the first
+// completion lands. Classes partition cells by expected runtime (the
+// harness uses the single-thread/multi-thread split, whose trace
+// lengths differ by an order of magnitude).
+type Calibrator struct {
+	mu  sync.Mutex
+	max map[string]time.Duration
+	n   map[string]int
+}
+
+// NewCalibrator returns an empty calibrator.
+func NewCalibrator() *Calibrator {
+	return &Calibrator{max: map[string]time.Duration{}, n: map[string]int{}}
+}
+
+// Observe records one successful cell completion.
+func (c *Calibrator) Observe(class string, d time.Duration) {
+	c.mu.Lock()
+	if d > c.max[class] {
+		c.max[class] = d
+	}
+	c.n[class]++
+	c.mu.Unlock()
+}
+
+// Samples returns how many completions the class has contributed.
+func (c *Calibrator) Samples(class string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n[class]
+}
+
+// Deadline returns the calibrated deadline for the class: factor times
+// the slowest observed completion, no less than floor, or fallback when
+// the class has no data yet.
+func (c *Calibrator) Deadline(class string, factor float64, floor, fallback time.Duration) time.Duration {
+	c.mu.Lock()
+	m, seen := c.max[class], c.n[class] > 0
+	c.mu.Unlock()
+	if !seen {
+		return fallback
+	}
+	d := time.Duration(factor * float64(m))
+	if d < floor {
+		d = floor
+	}
+	return d
+}

@@ -1,0 +1,269 @@
+package supervise
+
+import (
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+type testHeader struct {
+	Tool string `json:"tool"`
+	Ops  int    `json:"ops"`
+}
+
+func writeJournal(t *testing.T, dir string, finishRun bool) string {
+	t.Helper()
+	j, err := Create(dir, "run-1", testHeader{Tool: "tusbench", Ops: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.CellStart("a/base/114")
+	j.CellFinish("a/base/114", StatusDone, "")
+	j.CellStart("a/TUS/114")
+	j.CellRetry("a/TUS/114", "watchdog under chaos")
+	j.CellFinish("a/TUS/114", StatusQuarantined, "deterministic failure: boom")
+	j.CellStart("b/base/114") // in flight: no finish
+	if finishRun {
+		j.Finish()
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return j.path
+}
+
+// TestJournalRoundTrip: records written through the journal replay into
+// the expected resume state.
+func TestJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	writeJournal(t, dir, false)
+	st, err := Load(dir, "run-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hdr testHeader
+	if err := json.Unmarshal(st.Header, &hdr); err != nil {
+		t.Fatal(err)
+	}
+	if hdr.Tool != "tusbench" || hdr.Ops != 2000 {
+		t.Fatalf("header round trip: %+v", hdr)
+	}
+	if !st.Done["a/base/114"] || len(st.Done) != 1 {
+		t.Fatalf("done set wrong: %v", st.Done)
+	}
+	if st.Quarantined["a/TUS/114"] != "deterministic failure: boom" {
+		t.Fatalf("quarantine set wrong: %v", st.Quarantined)
+	}
+	if !st.InFlight["b/base/114"] || len(st.InFlight) != 1 {
+		t.Fatalf("in-flight set wrong: %v", st.InFlight)
+	}
+	if st.Finished {
+		t.Fatal("run without run_finish must not report finished")
+	}
+	if len(st.Warnings) != 0 {
+		t.Fatalf("clean journal produced warnings: %v", st.Warnings)
+	}
+
+	ids, err := List(dir)
+	if err != nil || len(ids) != 1 || ids[0] != "run-1" {
+		t.Fatalf("List = %v, %v", ids, err)
+	}
+}
+
+// TestJournalTruncatedTail: a SIGKILL mid-append leaves a torn final
+// record; Load skips it with a warning and keeps the valid prefix.
+func TestJournalTruncatedTail(t *testing.T) {
+	dir := t.TempDir()
+	path := writeJournal(t, dir, false)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut the file mid-way through the final record's line.
+	cut := len(data) - 25
+	if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Load(dir, "run-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Warnings) == 0 {
+		t.Fatal("truncated tail must warn")
+	}
+	if !st.Done["a/base/114"] {
+		t.Fatal("valid prefix lost after tail truncation")
+	}
+	// The torn record was b's cell_start; b must simply be absent, and
+	// resume re-arms it implicitly by running everything not done.
+	if st.InFlight["b/base/114"] {
+		t.Fatal("torn start record must not resurrect as in-flight")
+	}
+}
+
+// TestJournalBadChecksum: a flipped byte inside a record is detected by
+// the per-record sha256 and the record is skipped, not trusted and not
+// fatal.
+func TestJournalBadChecksum(t *testing.T) {
+	dir := t.TempDir()
+	path := writeJournal(t, dir, false)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the "done" finish record by renaming its cell in place.
+	corrupted := strings.Replace(string(data), `"cell":"a/base/114","status":"done"`,
+		`"cell":"z/base/114","status":"done"`, 1)
+	if corrupted == string(data) {
+		t.Fatal("test setup: finish record not found")
+	}
+	if err := os.WriteFile(path, []byte(corrupted), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Load(dir, "run-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Warnings) == 0 {
+		t.Fatal("checksum mismatch must warn")
+	}
+	if st.Done["z/base/114"] || st.Done["a/base/114"] {
+		t.Fatalf("corrupted record must not be trusted: %v", st.Done)
+	}
+	// With its finish record rejected, the cell falls back to in-flight
+	// (start is still valid) — the safe direction: it will re-run.
+	if !st.InFlight["a/base/114"] {
+		t.Fatal("cell with rejected finish must be re-armed")
+	}
+}
+
+// TestJournalDuplicateFinish: duplicate finish records (possible when a
+// kill lands between the cache write and the journal append, then the
+// resumed run finishes the cell again) are tolerated: first wins, rest
+// warn.
+func TestJournalDuplicateFinish(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Create(dir, "run-2", testHeader{Tool: "t"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.CellStart("c/TUS/32")
+	j.CellFinish("c/TUS/32", StatusDone, "")
+	j.CellFinish("c/TUS/32", StatusQuarantined, "late duplicate")
+	j.Close()
+	st, err := Load(dir, "run-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Done["c/TUS/32"] {
+		t.Fatal("first finish must win")
+	}
+	if len(st.Quarantined) != 0 {
+		t.Fatalf("duplicate finish must be skipped: %v", st.Quarantined)
+	}
+	if len(st.Warnings) == 0 {
+		t.Fatal("duplicate finish must warn")
+	}
+}
+
+// TestJournalResumeAppend: OpenAppend continues a journal across
+// processes — including after a torn tail, where it must start on a
+// fresh line instead of gluing onto the partial record.
+func TestJournalResumeAppend(t *testing.T) {
+	dir := t.TempDir()
+	path := writeJournal(t, dir, false)
+	// Tear the tail as a kill would.
+	data, _ := os.ReadFile(path)
+	os.WriteFile(path, data[:len(data)-10], 0o644)
+
+	st, err := Load(dir, "run-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := OpenAppend(dir, "run-1", st.NextSeq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.CellStart("b/base/114")
+	j.CellFinish("b/base/114", StatusDone, "")
+	j.Finish()
+	j.Close()
+
+	st2, err := Load(dir, "run-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st2.Done["b/base/114"] || !st2.Done["a/base/114"] {
+		t.Fatalf("resumed records lost: %v", st2.Done)
+	}
+	if !st2.Finished {
+		t.Fatal("run_finish lost on resumed journal")
+	}
+	if len(st2.Warnings) == 0 {
+		t.Fatal("the torn record should still warn on reload")
+	}
+}
+
+// TestJournalErrors: a missing journal and a journal without a valid
+// header are load errors (nothing to resume), not panics.
+func TestJournalErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Load(dir, "no-such-run"); err == nil {
+		t.Fatal("missing journal must error")
+	}
+	if err := os.WriteFile(journalPath(dir, "headless"), []byte("garbage\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir, "headless"); err == nil {
+		t.Fatal("journal without header must error")
+	}
+}
+
+// TestJournalFinished: a completed run's journal reports Finished so
+// resume can no-op politely.
+func TestJournalFinished(t *testing.T) {
+	dir := t.TempDir()
+	writeJournal(t, dir, true)
+	st, err := Load(dir, "run-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Finished {
+		t.Fatal("run_finish not reflected")
+	}
+}
+
+// TestSupervisorJournals: Do() writes start/finish records for done,
+// quarantined, and retried cells.
+func TestSupervisorJournals(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Create(dir, "run-3", testHeader{Tool: "t"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(testPolicy(nil))
+	s.SetJournal(j)
+	calls := 0
+	if err := s.Do("ok", "st", func() error {
+		calls++
+		if calls == 1 {
+			return errTransient
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s.Do("bad", "st", func() error { return errDeterministic })
+	j.Close()
+	st, err := Load(dir, "run-3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Done["ok"] {
+		t.Fatalf("done cell not journaled: %v", st.Done)
+	}
+	if _, q := st.Quarantined["bad"]; !q {
+		t.Fatalf("quarantined cell not journaled: %v", st.Quarantined)
+	}
+}

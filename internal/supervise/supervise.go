@@ -1,0 +1,338 @@
+// Package supervise is the harness's cell supervision layer: every
+// experiment cell runs inside a goroutine sandbox with a calibrated
+// deadline, panic capture, bounded retries with decorrelated-jitter
+// backoff for transient failures, and a quarantine list so one poisoned
+// cell degrades its figure instead of killing the whole run. It pairs
+// with a crash-consistent run journal (journal.go) that lets a killed
+// run resume and skip completed work.
+//
+// The design mirrors the paper's own premise: let speculative work
+// proceed optimistically, detect the rare failure precisely, and repair
+// from a durable log instead of failing wholesale.
+package supervise
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// Quarantined is the error a supervised cell returns once it has been
+// poisoned: the cell will not be attempted again this run (or, via the
+// journal, on resume). Figures treat it as "skip this cell and record a
+// degraded entry", not as a fatal error.
+type Quarantined struct {
+	Key    string
+	Reason string
+	Err    error
+}
+
+// Error implements error.
+func (q *Quarantined) Error() string {
+	return fmt.Sprintf("supervise: cell %s quarantined: %s", q.Key, q.Reason)
+}
+
+// Unwrap exposes the underlying failure for errors.As chains.
+func (q *Quarantined) Unwrap() error { return q.Err }
+
+// DeadlineError reports a cell attempt that exceeded its deadline. The
+// attempt goroutine is abandoned (goroutines cannot be killed), so the
+// supervised function must tolerate a zombie attempt racing a retry;
+// the harness serializes result publication behind a mutex for this.
+type DeadlineError struct {
+	Key   string
+	Limit time.Duration
+}
+
+// Error implements error.
+func (d *DeadlineError) Error() string {
+	return fmt.Sprintf("supervise: cell %s exceeded its %v deadline", d.Key, d.Limit)
+}
+
+// PanicError wraps a recovered panic from a supervised cell when no
+// Policy.WrapPanic hook is installed.
+type PanicError struct {
+	Key   string
+	Value any
+	Stack string
+}
+
+// Error implements error.
+func (p *PanicError) Error() string {
+	return fmt.Sprintf("supervise: cell %s panicked: %v", p.Key, p.Value)
+}
+
+// Policy configures a Supervisor. The zero value is usable: no retries,
+// deterministic-only classification, a DefaultFallback deadline.
+type Policy struct {
+	// MaxRetries bounds re-attempts after a transient failure; a
+	// deterministic failure never retries. Default 0 (no retries).
+	MaxRetries int
+	// BaseBackoff seeds the decorrelated-jitter backoff between
+	// transient retries; MaxBackoff caps it.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// Fallback is the per-cell deadline used before calibration has any
+	// data for the cell's class. Zero selects DefaultFallback.
+	Fallback time.Duration
+	// DeadlineFactor scales the calibrated per-class estimate into a
+	// deadline (deadline = factor x max observed duration). Zero selects
+	// DefaultDeadlineFactor.
+	DeadlineFactor float64
+	// MinDeadline floors calibrated deadlines so a class of sub-ms cells
+	// cannot produce a flaky microsecond deadline. Zero selects
+	// DefaultMinDeadline.
+	MinDeadline time.Duration
+	// Transient classifies an attempt failure: true means retry (with
+	// backoff, up to MaxRetries), false means quarantine immediately.
+	// A nil classifier treats every failure as deterministic. Deadline
+	// misses (*DeadlineError) are always considered transient: host
+	// scheduling noise, not simulator state.
+	Transient func(error) bool
+	// WrapPanic converts a recovered panic into the caller's error type
+	// (the harness builds a system.CrashReport). Nil wraps into
+	// *PanicError.
+	WrapPanic func(key string, value any, stack []byte) error
+	// Seed drives the jitter PRNG; runs with equal seeds back off
+	// identically. Zero selects 1.
+	Seed uint64
+	// Sleep is the backoff clock, injectable for tests (nil = time.Sleep).
+	Sleep func(time.Duration)
+	// Warnf receives one-line operational warnings (retries, quarantines).
+	// Nil discards them. Never write these to stdout: figure output must
+	// stay byte-identical.
+	Warnf func(format string, args ...any)
+}
+
+// Defaults for the zero Policy fields.
+const (
+	DefaultFallback       = 10 * time.Minute
+	DefaultDeadlineFactor = 8.0
+	DefaultMinDeadline    = 2 * time.Second
+	DefaultBaseBackoff    = 100 * time.Millisecond
+	DefaultMaxBackoff     = 2 * time.Second
+)
+
+// Supervisor runs cells under one Policy, sharing a calibrator, a
+// quarantine list, and (optionally) a run journal. All methods are safe
+// for concurrent use.
+type Supervisor struct {
+	p     Policy
+	calib *Calibrator
+
+	mu          sync.Mutex
+	quarantined map[string]string // key -> reason
+	rng         uint64
+	journal     *Journal
+
+	// Attempt accounting (observability, not control flow).
+	retries     int
+	quarantines int
+}
+
+// New builds a supervisor, filling zero Policy fields with defaults.
+func New(p Policy) *Supervisor {
+	if p.Fallback <= 0 {
+		p.Fallback = DefaultFallback
+	}
+	if p.DeadlineFactor <= 0 {
+		p.DeadlineFactor = DefaultDeadlineFactor
+	}
+	if p.MinDeadline <= 0 {
+		p.MinDeadline = DefaultMinDeadline
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = DefaultBaseBackoff
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = DefaultMaxBackoff
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	if p.Sleep == nil {
+		p.Sleep = time.Sleep
+	}
+	return &Supervisor{
+		p:           p,
+		calib:       NewCalibrator(),
+		quarantined: map[string]string{},
+		rng:         p.Seed,
+	}
+}
+
+// SetJournal attaches a run journal: every supervised cell start/finish
+// is appended to it. Nil detaches.
+func (s *Supervisor) SetJournal(j *Journal) {
+	s.mu.Lock()
+	s.journal = j
+	s.mu.Unlock()
+}
+
+// Quarantine marks a cell poisoned without running it (resume preloads
+// the prior run's quarantine list through this).
+func (s *Supervisor) Quarantine(key, reason string) {
+	s.mu.Lock()
+	if _, dup := s.quarantined[key]; !dup {
+		s.quarantined[key] = reason
+		s.quarantines++
+	}
+	s.mu.Unlock()
+}
+
+// QuarantinedCells returns a copy of the quarantine list.
+func (s *Supervisor) QuarantinedCells() map[string]string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]string, len(s.quarantined))
+	for k, v := range s.quarantined {
+		out[k] = v
+	}
+	return out
+}
+
+// Retries returns how many transient re-attempts the supervisor issued.
+func (s *Supervisor) Retries() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.retries
+}
+
+// warnf routes an operational warning through the policy hook.
+func (s *Supervisor) warnf(format string, args ...any) {
+	if s.p.Warnf != nil {
+		s.p.Warnf(format, args...)
+	}
+}
+
+// splitmix64 is the jitter PRNG step (public-domain constants; same
+// generator the fault injector uses).
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	z := x
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// nextBackoff computes the decorrelated-jitter delay: uniform in
+// [base, 3*prev], capped at MaxBackoff.
+func (s *Supervisor) nextBackoff(prev time.Duration) time.Duration {
+	s.mu.Lock()
+	s.rng = splitmix64(s.rng)
+	r := s.rng
+	s.mu.Unlock()
+	lo, hi := s.p.BaseBackoff, 3*prev
+	if hi <= lo {
+		hi = lo + 1
+	}
+	d := lo + time.Duration(r%uint64(hi-lo))
+	if d > s.p.MaxBackoff {
+		d = s.p.MaxBackoff
+	}
+	return d
+}
+
+// transient classifies an attempt failure for retry purposes.
+func (s *Supervisor) transient(err error) bool {
+	if _, ok := err.(*DeadlineError); ok {
+		return true
+	}
+	if s.p.Transient != nil {
+		return s.p.Transient(err)
+	}
+	return false
+}
+
+// attempt runs fn once in a sandbox goroutine with panic capture and the
+// given deadline. On deadline the goroutine is abandoned, never joined.
+func (s *Supervisor) attempt(key string, deadline time.Duration, fn func() error) error {
+	done := make(chan error, 1)
+	go func() {
+		defer func() {
+			if v := recover(); v != nil {
+				stack := debug.Stack()
+				if s.p.WrapPanic != nil {
+					done <- s.p.WrapPanic(key, v, stack)
+					return
+				}
+				done <- &PanicError{Key: key, Value: v, Stack: string(stack)}
+			}
+		}()
+		done <- fn()
+	}()
+	timer := time.NewTimer(deadline)
+	defer timer.Stop()
+	select {
+	case err := <-done:
+		return err
+	case <-timer.C:
+		return &DeadlineError{Key: key, Limit: deadline}
+	}
+}
+
+// Do runs one cell under supervision. class groups cells with similar
+// expected runtimes for deadline calibration (e.g. "st" vs "mt").
+//
+// The returned error is nil on success, a *Quarantined once the cell is
+// poisoned (deterministic failure, or transient retries exhausted), or
+// fn's own error only when it cannot be represented as a quarantine
+// (never, today). Calling Do again for a quarantined key returns
+// immediately without running fn.
+func (s *Supervisor) Do(key, class string, fn func() error) error {
+	s.mu.Lock()
+	if reason, bad := s.quarantined[key]; bad {
+		s.mu.Unlock()
+		return &Quarantined{Key: key, Reason: reason}
+	}
+	j := s.journal
+	s.mu.Unlock()
+
+	if j != nil {
+		j.CellStart(key)
+	}
+	backoff := s.p.BaseBackoff
+	var err error
+	for try := 0; ; try++ {
+		deadline := s.calib.Deadline(class, s.p.DeadlineFactor, s.p.MinDeadline, s.p.Fallback)
+		start := time.Now()
+		err = s.attempt(key, deadline, fn)
+		if err == nil {
+			s.calib.Observe(class, time.Since(start))
+			if j != nil {
+				j.CellFinish(key, StatusDone, "")
+			}
+			return nil
+		}
+		if !s.transient(err) || try >= s.p.MaxRetries {
+			break
+		}
+		backoff = s.nextBackoff(backoff)
+		s.mu.Lock()
+		s.retries++
+		s.mu.Unlock()
+		s.warnf("supervise: cell %s attempt %d failed transiently (%v); retrying in %v",
+			key, try+1, err, backoff)
+		if j != nil {
+			j.CellRetry(key, err.Error())
+		}
+		s.p.Sleep(backoff)
+	}
+	reason := classifyReason(err, s.transient(err))
+	s.Quarantine(key, reason)
+	s.warnf("supervise: cell %s quarantined: %s", key, reason)
+	if j != nil {
+		j.CellFinish(key, StatusQuarantined, reason)
+	}
+	return &Quarantined{Key: key, Reason: reason, Err: err}
+}
+
+// classifyReason renders the quarantine reason, tagging whether the
+// failure was deterministic or a transient that exhausted its retries.
+func classifyReason(err error, transient bool) string {
+	if transient {
+		return fmt.Sprintf("transient failure persisted past retry budget: %v", err)
+	}
+	return fmt.Sprintf("deterministic failure: %v", err)
+}

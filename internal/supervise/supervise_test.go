@@ -1,0 +1,256 @@
+package supervise
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// testPolicy is a fast policy for unit tests: no real sleeping, tiny
+// deadlines allowed, a marker-based transient classifier.
+func testPolicy(sleeps *[]time.Duration) Policy {
+	return Policy{
+		MaxRetries:  2,
+		BaseBackoff: 10 * time.Millisecond,
+		MaxBackoff:  80 * time.Millisecond,
+		Fallback:    time.Second,
+		MinDeadline: time.Millisecond,
+		Transient: func(err error) bool {
+			return err != nil && errors.Is(err, errTransient)
+		},
+		Sleep: func(d time.Duration) {
+			if sleeps != nil {
+				*sleeps = append(*sleeps, d)
+			}
+		},
+	}
+}
+
+var (
+	errTransient     = errors.New("watchdog tripped under chaos")
+	errDeterministic = errors.New("invariant violated")
+)
+
+// TestTransientRetriesThenSucceeds: a chaos-style transient failure
+// retries with backoff and the cell ultimately succeeds — no
+// quarantine, no error.
+func TestTransientRetriesThenSucceeds(t *testing.T) {
+	var sleeps []time.Duration
+	s := New(testPolicy(&sleeps))
+	calls := 0
+	err := s.Do("cell/a", "st", func() error {
+		calls++
+		if calls < 3 {
+			return fmt.Errorf("attempt %d: %w", calls, errTransient)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("expected eventual success, got %v", err)
+	}
+	if calls != 3 {
+		t.Fatalf("expected 3 attempts, got %d", calls)
+	}
+	if len(sleeps) != 2 {
+		t.Fatalf("expected 2 backoff sleeps, got %v", sleeps)
+	}
+	for i, d := range sleeps {
+		if d < 10*time.Millisecond || d > 80*time.Millisecond {
+			t.Fatalf("backoff %d = %v outside [base, cap]", i, d)
+		}
+	}
+	if s.Retries() != 2 {
+		t.Fatalf("retry accounting: got %d, want 2", s.Retries())
+	}
+	if len(s.QuarantinedCells()) != 0 {
+		t.Fatal("successful cell must not be quarantined")
+	}
+}
+
+// TestDeterministicQuarantinesImmediately: a deterministic failure goes
+// straight to quarantine with zero retries, and subsequent attempts on
+// the same key short-circuit without running.
+func TestDeterministicQuarantinesImmediately(t *testing.T) {
+	var sleeps []time.Duration
+	s := New(testPolicy(&sleeps))
+	calls := 0
+	err := s.Do("cell/b", "st", func() error {
+		calls++
+		return errDeterministic
+	})
+	var q *Quarantined
+	if !errors.As(err, &q) {
+		t.Fatalf("expected *Quarantined, got %v", err)
+	}
+	if calls != 1 {
+		t.Fatalf("deterministic failure must not retry: %d calls", calls)
+	}
+	if len(sleeps) != 0 {
+		t.Fatalf("deterministic failure must not back off: %v", sleeps)
+	}
+	if !errors.Is(err, errDeterministic) {
+		t.Fatal("quarantine must unwrap to the underlying failure")
+	}
+	// Second attempt: short-circuit.
+	err2 := s.Do("cell/b", "st", func() error {
+		calls++
+		return nil
+	})
+	if !errors.As(err2, &q) {
+		t.Fatalf("expected cached quarantine, got %v", err2)
+	}
+	if calls != 1 {
+		t.Fatal("quarantined cell must not re-execute")
+	}
+}
+
+// TestTransientExhaustedQuarantines: a persistent transient failure
+// exhausts its retry budget and lands in quarantine with a reason
+// recording the exhaustion.
+func TestTransientExhaustedQuarantines(t *testing.T) {
+	var sleeps []time.Duration
+	s := New(testPolicy(&sleeps))
+	calls := 0
+	err := s.Do("cell/c", "st", func() error {
+		calls++
+		return errTransient
+	})
+	var q *Quarantined
+	if !errors.As(err, &q) {
+		t.Fatalf("expected *Quarantined, got %v", err)
+	}
+	if calls != 3 { // initial + MaxRetries
+		t.Fatalf("expected 3 attempts, got %d", calls)
+	}
+	if q.Reason == "" || !errors.Is(err, errTransient) {
+		t.Fatalf("quarantine must carry reason + cause: %+v", q)
+	}
+}
+
+// TestPanicCaptured: a panicking cell is recovered, wrapped, classified
+// deterministic, and quarantined — the process survives.
+func TestPanicCaptured(t *testing.T) {
+	s := New(testPolicy(nil))
+	err := s.Do("cell/p", "st", func() error {
+		panic("index out of range [114]")
+	})
+	var q *Quarantined
+	if !errors.As(err, &q) {
+		t.Fatalf("expected *Quarantined, got %v", err)
+	}
+	var p *PanicError
+	if !errors.As(err, &p) {
+		t.Fatalf("expected wrapped *PanicError, got %v", err)
+	}
+	if p.Value != "index out of range [114]" || p.Stack == "" {
+		t.Fatalf("panic payload/stack missing: %+v", p)
+	}
+}
+
+// TestPanicWrapHook: a WrapPanic hook converts the panic into the
+// caller's error type (the harness turns it into a CrashReport).
+func TestPanicWrapHook(t *testing.T) {
+	p := testPolicy(nil)
+	type wrapped struct{ error }
+	p.WrapPanic = func(key string, v any, stack []byte) error {
+		return wrapped{fmt.Errorf("crash report for %s: %v (%d stack bytes)", key, v, len(stack))}
+	}
+	s := New(p)
+	err := s.Do("cell/w", "st", func() error { panic("boom") })
+	var w wrapped
+	if !errors.As(err, &w) {
+		t.Fatalf("expected hook-wrapped error, got %v", err)
+	}
+}
+
+// TestDeadlineIsTransient: an attempt that exceeds its deadline is
+// abandoned and retried; a fast second attempt succeeds.
+func TestDeadlineIsTransient(t *testing.T) {
+	p := testPolicy(nil)
+	p.Fallback = 25 * time.Millisecond
+	s := New(p)
+	release := make(chan struct{})
+	defer close(release)
+	var calls atomic.Int32
+	err := s.Do("cell/d", "st", func() error {
+		if calls.Add(1) == 1 {
+			<-release // hang past the deadline
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("expected success after deadline retry, got %v", err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("expected 2 attempts, got %d", got)
+	}
+	if s.Retries() != 1 {
+		t.Fatalf("deadline retry accounting: %d", s.Retries())
+	}
+}
+
+// TestDeadlineFromCalibration: once a class has completions, its
+// deadline derives from the slowest observed cell, not the fallback.
+func TestDeadlineFromCalibration(t *testing.T) {
+	c := NewCalibrator()
+	fallback := time.Hour
+	if d := c.Deadline("st", 8, time.Millisecond, fallback); d != fallback {
+		t.Fatalf("uncalibrated class must use fallback, got %v", d)
+	}
+	c.Observe("st", 10*time.Millisecond)
+	c.Observe("st", 4*time.Millisecond)
+	if d := c.Deadline("st", 8, time.Millisecond, fallback); d != 80*time.Millisecond {
+		t.Fatalf("calibrated deadline = %v, want 80ms (8 x slowest)", d)
+	}
+	// The floor guards tiny classes.
+	c.Observe("mt", 10*time.Microsecond)
+	if d := c.Deadline("mt", 8, 2*time.Second, fallback); d != 2*time.Second {
+		t.Fatalf("floored deadline = %v, want 2s", d)
+	}
+	if c.Samples("st") != 2 || c.Samples("mt") != 1 {
+		t.Fatal("sample accounting wrong")
+	}
+	// The supervisor feeds the calibrator through Do.
+	p := testPolicy(nil)
+	s := New(p)
+	if err := s.Do("cell/x", "st", func() error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if s.calib.Samples("st") != 1 {
+		t.Fatal("Do must calibrate on success")
+	}
+}
+
+// TestQuarantinePreload: resume-style preloading poisons cells without
+// running them.
+func TestQuarantinePreload(t *testing.T) {
+	s := New(testPolicy(nil))
+	s.Quarantine("cell/q", "poisoned in a prior run")
+	err := s.Do("cell/q", "st", func() error {
+		t.Fatal("preloaded quarantine must not execute")
+		return nil
+	})
+	var q *Quarantined
+	if !errors.As(err, &q) || q.Reason != "poisoned in a prior run" {
+		t.Fatalf("expected preloaded quarantine, got %v", err)
+	}
+}
+
+// TestBackoffDeterministic: equal seeds produce equal backoff
+// schedules (the jitter is pseudo-random, not nondeterministic).
+func TestBackoffDeterministic(t *testing.T) {
+	run := func() []time.Duration {
+		var sleeps []time.Duration
+		p := testPolicy(&sleeps)
+		p.Seed = 42
+		s := New(p)
+		s.Do("cell/j", "st", func() error { return errTransient })
+		return sleeps
+	}
+	a, b := run(), run()
+	if len(a) != 2 || len(b) != 2 || a[0] != b[0] || a[1] != b[1] {
+		t.Fatalf("jitter not deterministic for equal seeds: %v vs %v", a, b)
+	}
+}

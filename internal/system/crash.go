@@ -37,6 +37,10 @@ const (
 	CrashAudit = "audit"
 	// CrashMaxCycles: the run exceeded Config.MaxCycles.
 	CrashMaxCycles = "max-cycles"
+	// CrashPanic: the simulation goroutine panicked with something other
+	// than a ProtocolError (a plain Go bug). Assembled by PanicReport in
+	// the supervision layer, so no machine state is attached.
+	CrashPanic = "panic"
 )
 
 // CrashReport is the typed error system.Run returns when the machine
@@ -54,12 +58,50 @@ type CrashReport struct {
 	// rates zero when the run was fault-free).
 	FaultPlan faults.Plan    `json:"fault_plan"`
 	PerCore   []CoreSnapshot `json:"per_core"`
+	// Stack is the captured goroutine stack for panic crashes.
+	Stack string `json:"stack,omitempty"`
 }
 
 // Error implements error.
 func (r *CrashReport) Error() string {
 	return fmt.Sprintf("system: %s crash at cycle %d (%s, %d cores): %s",
 		r.Kind, r.Cycle, r.Mechanism, r.Cores, r.Message)
+}
+
+// PanicReport converts a recovered panic into a CrashReport so the
+// supervision layer can route Go-level bugs through the same
+// classification and crash-to-repro pipeline as protocol crashes. No
+// machine is available at the recovery site, so the report carries only
+// the panic payload and stack.
+func PanicReport(value any, stack []byte) *CrashReport {
+	return &CrashReport{
+		Kind:    CrashPanic,
+		Message: fmt.Sprintf("panic: %v", value),
+		Stack:   string(stack),
+	}
+}
+
+// Transient reports whether retrying the crashed run could plausibly
+// succeed. Only a watchdog trip under active fault injection qualifies:
+// chaos schedules deliberately stall the machine, so a no-progress
+// window may be pressure rather than a real deadlock. Everything else —
+// invariant violations, auditor trips, cycle-budget overruns, panics,
+// and watchdog trips on a fault-free (fully deterministic) run — will
+// recur on every retry and must quarantine immediately.
+func (r *CrashReport) Transient() bool {
+	return r.Kind == CrashWatchdog && r.FaultPlan.Enabled()
+}
+
+// Deterministic is the complement of Transient.
+func (r *CrashReport) Deterministic() bool { return !r.Transient() }
+
+// Classification renders the transient/deterministic verdict for
+// crash-to-repro bundles and logs.
+func (r *CrashReport) Classification() string {
+	if r.Transient() {
+		return "transient"
+	}
+	return "deterministic"
 }
 
 // crash assembles a CrashReport from the machine's current state.
