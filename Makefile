@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test short race race-harness check smoke chaos litmus figs figures-par fuzz cover trace-smoke resume-smoke clean
+.PHONY: all build vet test short race race-harness check smoke chaos litmus figs figures-par fuzz cover trace-smoke resume-smoke serve server-smoke clean
 
 all: vet build test
 
@@ -23,10 +23,11 @@ race:
 	$(GO) test -short -race ./internal/system/ ./internal/litmus/
 
 # race-harness: the parallel experiment harness (worker pool, result
-# cache, stats merging, supervision layer) under the race detector,
+# cache, stats merging, supervision layer) and the tusd service layer
+# (job pool, coalescing, SSE fan-out) under the race detector,
 # including the serial-vs-parallel byte-identity tests.
 race-harness:
-	$(GO) test -race ./internal/harness/... ./internal/stats/... ./internal/supervise/...
+	$(GO) test -race ./internal/harness/... ./internal/stats/... ./internal/supervise/... ./internal/server/...
 
 # check: model-check the simulator against the operational x86-TSO
 # oracle — every litmus program × {base, CSB, TUS}, bounded-exhaustive
@@ -87,6 +88,19 @@ trace-smoke:
 # resumed output to be byte-identical to an uninterrupted run.
 resume-smoke:
 	bash scripts/resume_smoke.sh
+
+# serve: run the tusd evaluation daemon on :8344 with the shared
+# content-addressed cache. Figures come out byte-identical to tusbench:
+#   curl localhost:8344/v1/figures/9
+serve:
+	$(GO) run ./cmd/tusd -quick -cache .tuscache
+
+# server-smoke: the tusd acceptance path through real binaries — cold
+# and warm GET /v1/figures/9 diffed byte-for-byte against the CLI,
+# /v1/figures vs -list, required /metrics series, graceful SIGTERM
+# drain, and the perf trajectory record on exit.
+server-smoke:
+	bash scripts/server_smoke.sh
 
 # clean: drop run-local state — the content-addressed result cache,
 # stale run journals, and scratch artifacts. Never touches committed

@@ -5,6 +5,7 @@
 //
 //	tusbench                 # everything (Figs. 8-15 + CAM table)
 //	tusbench -fig 10         # one figure
+//	tusbench -list           # servable inventory (figures/benches) as JSON
 //	tusbench -table cam      # CAM model vs paper claims
 //	tusbench -table config   # Table I configuration dump
 //	tusbench -summary        # headline averages
@@ -52,6 +53,10 @@ import (
 // runHeader is the journal's run_start payload: everything needed to
 // reconstruct the run's result-determining settings on resume.
 type runHeader struct {
+	// Version pins the harness identity the run was recorded under;
+	// resuming with a skewed binary is detected and warned (completed
+	// cells then miss the content-addressed cache and resimulate).
+	Version     string `json:"harness_version,omitempty"`
 	Mode        string `json:"mode"` // "figs" or "json"
 	Fig         int    `json:"fig,omitempty"`
 	Quick       bool   `json:"quick,omitempty"`
@@ -65,6 +70,7 @@ type runHeader struct {
 
 func main() {
 	fig := flag.Int("fig", 0, "regenerate one figure (8-15); 0 = all")
+	list := flag.Bool("list", false, "print the servable inventory (figures, benches, cell counts) as JSON")
 	table := flag.String("table", "", "print a table: cam | config")
 	summary := flag.Bool("summary", false, "print headline averages only")
 	hist := flag.Bool("hist", false, "print the occupancy/latency histogram report (SB-bound matrix @114SB)")
@@ -84,6 +90,15 @@ func main() {
 	resume := flag.String("resume", "", "resume a killed journaled run by its run ID")
 	flag.Parse()
 
+	if *list {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(harness.List()); err != nil {
+			fail(err)
+		}
+		return
+	}
+
 	if *table != "" {
 		switch *table {
 		case "cam":
@@ -102,6 +117,7 @@ func main() {
 		mode = "json"
 	}
 	hdr := runHeader{
+		Version:     harness.Version,
 		Mode:        mode,
 		Fig:         *fig,
 		Quick:       *quick,
@@ -129,6 +145,11 @@ func main() {
 		if err := json.Unmarshal(st.Header, &h); err != nil {
 			fail(fmt.Errorf("journal %s: bad run header: %w", *resume, err))
 		}
+		if h.Version != "" && h.Version != harness.Version {
+			fmt.Fprintf(os.Stderr, "tusbench: warning: run %s was journaled under %s, this binary is %s; completed cells will miss the result cache and resimulate\n",
+				*resume, h.Version, harness.Version)
+		}
+		h.Version = harness.Version
 		jExplicit := false
 		flag.Visit(func(f *flag.Flag) {
 			if f.Name == "j" {
@@ -279,10 +300,11 @@ func main() {
 	}
 	for _, f := range figs {
 		f := f
-		if err := rec.Time(fmt.Sprintf("fig%d", f), func() error { return runFigure(r, f) }); err != nil {
+		if err := rec.Time(fmt.Sprintf("fig%d", f), func() error {
+			return harness.RenderFigure(r, f, os.Stdout)
+		}); err != nil {
 			fail(err)
 		}
-		fmt.Println()
 	}
 	if *fig == 0 {
 		harness.PrintCAMTable(os.Stdout)
@@ -294,62 +316,6 @@ func main() {
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, "tusbench:", err)
 	os.Exit(1)
-}
-
-func runFigure(r *harness.Runner, f int) error {
-	switch f {
-	case 8:
-		rows, err := harness.Fig8(r)
-		if err != nil {
-			return err
-		}
-		harness.PrintFig8(os.Stdout, rows)
-	case 9:
-		rows, err := harness.Fig9(r)
-		if err != nil {
-			return err
-		}
-		harness.PrintFig9(os.Stdout, rows)
-	case 10:
-		s, err := harness.Speedups(r, 114, 114)
-		if err != nil {
-			return err
-		}
-		s.Print(os.Stdout, "Figure 10")
-	case 11:
-		s, err := harness.EDP(r, workload.SBBound(), 114, 114)
-		if err != nil {
-			return err
-		}
-		s.Print(os.Stdout, "Figure 11")
-	case 12:
-		s, err := harness.Parsec(r, 114, 114)
-		if err != nil {
-			return err
-		}
-		s.Print(os.Stdout, "Figure 12")
-	case 13:
-		s, err := harness.Speedups(r, 32, 32)
-		if err != nil {
-			return err
-		}
-		s.Print(os.Stdout, "Figure 13")
-	case 14:
-		s, err := harness.Parsec(r, 32, 32)
-		if err != nil {
-			return err
-		}
-		s.Print(os.Stdout, "Figure 14")
-	case 15:
-		s, err := harness.EDP(r, workload.SBBound(), 32, 32)
-		if err != nil {
-			return err
-		}
-		s.Print(os.Stdout, "Figure 15")
-	default:
-		return fmt.Errorf("unknown figure %d", f)
-	}
-	return nil
 }
 
 // printSummary reproduces the abstract's headline numbers.

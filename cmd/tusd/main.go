@@ -1,0 +1,187 @@
+// Command tusd serves the paper's evaluation over HTTP: figure,
+// histogram, cell-matrix, and litmus-check jobs run on a bounded pool
+// that reuses the harness (worker pool, supervision, quarantine) and a
+// process-wide content-addressed result cache. Identical in-flight
+// requests coalesce onto one job; per-cell progress streams over SSE.
+//
+// Usage:
+//
+//	tusd                         # listen on :8344, cache in .tuscache
+//	tusd -addr 127.0.0.1:9000    # explicit listen address
+//	tusd -quick                  # CI-sized traces
+//	tusd -max-jobs 4             # up to 4 jobs building at once
+//	tusd -job-timeout 10m        # per-job deadline
+//	tusd -cache ""               # disable the shared disk cache
+//	tusd -bench-out F            # write the perf trajectory on exit
+//	tusd -journal                # crash-consistent supervision journal
+//
+// API:
+//
+//	GET  /healthz                # "ok" (503 "draining" during shutdown)
+//	GET  /metrics                # Prometheus text format
+//	GET  /v1/figures             # servable inventory (same as tusbench -list)
+//	GET  /v1/figures/{n}         # figure n, byte-identical to `tusbench -fig n`
+//	POST /v1/jobs                # submit {"kind":"figure|cells|hist|litmus",...}
+//	GET  /v1/jobs                # job registry
+//	GET  /v1/jobs/{id}           # one job
+//	GET  /v1/jobs/{id}/output    # finished job's output bytes
+//	GET  /v1/jobs/{id}/events    # SSE progress stream
+//	POST /v1/jobs/{id}/cancel    # request cancellation (DELETE works too)
+//	GET  /v1/bench               # BENCH_harness.json-shaped perf report
+//
+// On SIGINT/SIGTERM the daemon drains gracefully: the listener closes
+// first (so load balancers stop routing), in-flight jobs run to
+// completion bounded by -drain-timeout, then the bench report and
+// journal are finalized.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"tusim/internal/config"
+	"tusim/internal/harness"
+	"tusim/internal/server"
+	"tusim/internal/supervise"
+)
+
+func main() {
+	addr := flag.String("addr", ":8344", "listen address")
+	quick := flag.Bool("quick", false, "use small traces (CI-sized)")
+	ops := flag.Int("ops", 0, "override trace length per thread")
+	pops := flag.Int("parallel-ops", 0, "override per-thread trace length for 16-thread runs")
+	seed := flag.Int64("seed", 1, "workload seed")
+	check := flag.Bool("check", false, "attach the TSO checker to every run")
+	verbose := flag.Bool("v", false, "print each run")
+	workers := flag.Int("j", 0, "max concurrent simulation cells per job (0 = all CPUs)")
+	cacheDir := flag.String("cache", ".tuscache", "persistent result cache directory shared by all jobs (empty = off)")
+	maxJobs := flag.Int("max-jobs", 2, "max concurrently building jobs (queued past this)")
+	jobTimeout := flag.Duration("job-timeout", 0, "per-job deadline (0 = none)")
+	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "max wait for in-flight jobs on shutdown")
+	benchOut := flag.String("bench-out", "", "write the perf trajectory report here on clean shutdown")
+	journalOn := flag.Bool("journal", false, "record a crash-consistent supervision journal under -journal-dir")
+	journalDir := flag.String("journal-dir", ".tusjournal", "run journal directory")
+	flag.Parse()
+
+	r := harness.NewRunner()
+	if *quick {
+		r = harness.NewQuickRunner()
+	}
+	if *ops > 0 {
+		r.Ops = *ops
+	}
+	if *pops > 0 {
+		r.ParallelOps = *pops
+	}
+	r.Seed = *seed
+	r.Check = *check
+	r.Verbose = *verbose
+	r.Workers = *workers
+	if *cacheDir != "" {
+		cache, err := harness.NewDiskCache(*cacheDir)
+		if err != nil {
+			fail(err)
+		}
+		r.Cache = cache
+	}
+	r.Supervisor = harness.NewSupervisor(config.Default().CellTimeout)
+
+	var journal *supervise.Journal
+	if *journalOn {
+		id := supervise.NewRunID()
+		j, err := supervise.Create(*journalDir, id, map[string]any{
+			"harness_version": harness.Version,
+			"mode":            "tusd",
+			"quick":           *quick,
+			"ops":             r.Ops,
+			"parallel_ops":    r.ParallelOps,
+			"seed":            r.Seed,
+			"check":           r.Check,
+			"cache":           *cacheDir,
+		})
+		if err != nil {
+			fail(err)
+		}
+		journal = j
+		r.Supervisor.SetJournal(j)
+		fmt.Fprintf(os.Stderr, "tusd: journaling run %s under %s\n", id, *journalDir)
+	}
+
+	srv := server.New(server.Options{
+		Runner:     r,
+		MaxJobs:    *maxJobs,
+		JobTimeout: *jobTimeout,
+		Warnf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fail(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	fmt.Fprintf(os.Stderr, "tusd: %s serving on http://%s (cache=%s max-jobs=%d)\n",
+		harness.Version, ln.Addr(), cacheOrOff(*cacheDir), *maxJobs)
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "tusd: %v: draining (listener closing, in-flight jobs finishing)\n", s)
+	case err := <-errCh:
+		fail(err)
+	}
+
+	// Drain: refuse new work, close the listener first so health checks
+	// and routing fail fast, then wait for in-flight jobs.
+	srv.StartDrain()
+	shutCtx, shutCancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer shutCancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "tusd: listener shutdown: %v\n", err)
+	}
+	if err := srv.WaitIdle(shutCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "tusd: %v (abandoning remaining builds)\n", err)
+	}
+
+	if *benchOut != "" {
+		if err := srv.BenchReport().WriteFile(*benchOut); err != nil {
+			fmt.Fprintf(os.Stderr, "tusd: bench-out: %v\n", err)
+		}
+	}
+	if journal != nil {
+		journal.Finish()
+		journal.Close()
+	}
+	if deg := r.DegradedCells(); len(deg) > 0 {
+		fmt.Fprintf(os.Stderr, "tusd: %d cells were degraded by quarantine this run:\n", len(deg))
+		for _, d := range deg {
+			fmt.Fprintf(os.Stderr, "  %s: %s: %s\n", d.Figure, d.Cell, d.Reason)
+		}
+	}
+	fmt.Fprintln(os.Stderr, "tusd: drained, bye")
+}
+
+func cacheOrOff(dir string) string {
+	if dir == "" {
+		return "off"
+	}
+	return dir
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "tusd:", err)
+	os.Exit(1)
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 	"runtime"
+	"sync"
 	"time"
 )
 
@@ -44,10 +45,14 @@ type BenchReport struct {
 	ParallelSpeedup float64 `json:"parallel_speedup"`
 }
 
-// BenchRecorder accumulates figure timings around a Runner.
+// BenchRecorder accumulates figure timings around a Runner. It is safe
+// for concurrent use: tusd times concurrently executing figure jobs
+// through one recorder.
 type BenchRecorder struct {
-	r       *Runner
-	start   time.Time
+	r     *Runner
+	start time.Time
+
+	mu      sync.Mutex
 	figures []FigTiming
 }
 
@@ -60,7 +65,9 @@ func NewBenchRecorder(r *Runner) *BenchRecorder {
 func (b *BenchRecorder) Time(name string, f func() error) error {
 	t0 := time.Now()
 	err := f()
+	b.mu.Lock()
 	b.figures = append(b.figures, FigTiming{Name: name, Seconds: time.Since(t0).Seconds()})
+	b.mu.Unlock()
 	return err
 }
 
@@ -68,23 +75,27 @@ func (b *BenchRecorder) Time(name string, f func() error) error {
 func (b *BenchRecorder) Report() BenchReport {
 	wall := time.Since(b.start).Seconds()
 	cell := time.Duration(b.r.cellNanos.Load()).Seconds()
+	b.mu.Lock()
+	figures := append([]FigTiming(nil), b.figures...)
+	b.mu.Unlock()
+	cs := b.r.CacheStats()
 	speedup := 1.0
 	if wall > 0 {
 		speedup = cell / wall
 	}
 	return BenchReport{
-		HarnessVersion:  HarnessVersion,
+		HarnessVersion:  Version,
 		Workers:         b.r.workers(),
 		NumCPU:          runtime.NumCPU(),
 		Ops:             b.r.Ops,
 		ParallelOps:     b.r.ParallelOps,
 		Seed:            b.r.Seed,
-		Figures:         b.figures,
+		Figures:         figures,
 		WallSeconds:     wall,
 		CellSeconds:     cell,
-		CellsRun:        int(b.r.cellsRun.Load()),
-		CellsCached:     int(b.r.cellsFromC.Load()),
-		CacheCorrupt:    int(b.r.cacheCorrupt.Load()),
+		CellsRun:        int(cs.CellsRun),
+		CellsCached:     int(cs.CellsCached),
+		CacheCorrupt:    int(cs.CacheCorrupt),
 		ParallelSpeedup: speedup,
 	}
 }

@@ -20,7 +20,7 @@ import (
 // identity, workload seed, trace length, checker attachment). Because
 // the key is derived from content — not from file mtimes or run order —
 // a hit is exactly as trustworthy as a rerun, and any change to the
-// simulator invalidates the whole cache via HarnessVersion.
+// simulator invalidates the whole cache via Version.
 //
 // The cache is best-effort: read or write failures (corrupt entries,
 // permission errors, version skew) degrade to a miss and a fresh
@@ -45,8 +45,38 @@ func (r *Runner) contentKey(b workload.Benchmark, cfg *config.Config) string {
 	hc := cfg.Clone()
 	hc.CellTimeout = 0
 	h := sha256.Sum256([]byte(fmt.Sprintf("%s|%s|seed=%d|ops=%d|check=%v|cfg=%+v",
-		HarnessVersion, b.Name, r.Seed, r.ops(b), r.Check, *hc)))
+		Version, b.Name, r.Seed, r.ops(b), r.Check, *hc)))
 	return hex.EncodeToString(h[:])
+}
+
+// ContentKey exposes the cell's content-addressed cache key: the hex
+// SHA-256 over (harness Version, benchmark identity, seed, trace
+// length, checker attachment, full machine configuration). tusd keys
+// request coalescing on these, so "the same job" means exactly what
+// "the same cache entry" means.
+func (r *Runner) ContentKey(c Cell) string {
+	cfg := config.Default().WithMechanism(c.Mech).WithSB(c.SB).WithCores(c.Bench.Threads)
+	return r.contentKey(c.Bench, cfg)
+}
+
+// CacheStats is a point-in-time snapshot of the runner's cell
+// accounting: cells simulated for real (every one of which was a cache
+// miss when a cache is attached), cells served from the disk cache, and
+// entries that existed but failed to decode or validate.
+type CacheStats struct {
+	CellsRun     int64 `json:"cells_run"`
+	CellsCached  int64 `json:"cells_cached"`
+	CacheCorrupt int64 `json:"cache_corrupt"`
+}
+
+// CacheStats returns the runner's current cell accounting. Safe for
+// concurrent use; tusd scrapes it for /metrics.
+func (r *Runner) CacheStats() CacheStats {
+	return CacheStats{
+		CellsRun:     r.cellsRun.Load(),
+		CellsCached:  r.cellsFromC.Load(),
+		CacheCorrupt: r.cacheCorrupt.Load(),
+	}
 }
 
 // cacheEntry is the serialized form of a Result. Stats are stored as
@@ -106,7 +136,7 @@ func (c *DiskCache) Get(key string, b workload.Benchmark, m config.Mechanism, sb
 	if err := json.Unmarshal(data, &e); err != nil {
 		return Result{}, CacheCorrupt
 	}
-	if e.Version != HarnessVersion || e.Bench != b.Name || e.Mech != m.String() ||
+	if e.Version != Version || e.Bench != b.Name || e.Mech != m.String() ||
 		e.SB != sbSize || len(e.StatNames) != len(e.StatValues) ||
 		len(e.HistNames) != len(e.HistSnaps) || e.Cycles == 0 {
 		return Result{}, CacheCorrupt
@@ -145,7 +175,7 @@ func (c *DiskCache) Put(key string, res Result) {
 		hsnaps[i] = byName[n]
 	}
 	e := cacheEntry{
-		Version:    HarnessVersion,
+		Version:    Version,
 		Bench:      res.Bench,
 		Mech:       res.Mech.String(),
 		SB:         res.SB,

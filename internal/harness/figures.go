@@ -27,9 +27,15 @@ type Fig8Row struct {
 	Speedup map[config.Mechanism]float64
 }
 
-// Fig8 regenerates the scalability analysis: geomean speedup over the
-// 114-entry baseline for every mechanism, SB size, and suite.
-func Fig8(r *Runner) ([]Fig8Row, error) {
+// fig8Suite is one suite series of the scalability study.
+type fig8Suite struct {
+	name   string
+	benchs []workload.Benchmark
+}
+
+// fig8Suites enumerates the scalability study's suite series; the
+// registry reuses it for cell counting.
+func fig8Suites() []fig8Suite {
 	spec := make([]workload.Benchmark, 0, 8)
 	tf := make([]workload.Benchmark, 0, 4)
 	for _, b := range workload.SBBound() {
@@ -39,16 +45,17 @@ func Fig8(r *Runner) ([]Fig8Row, error) {
 			spec = append(spec, b)
 		}
 	}
-	suites := []struct {
-		name   string
-		benchs []workload.Benchmark
-	}{
+	return []fig8Suite{
 		{"SPEC-ST(SB-bound)", spec},
 		{"TF", tf},
 		{"Parsec", workload.BySuite(workload.Parsec)},
 	}
+}
+
+// fig8Cells is the scalability study's full cell list.
+func fig8Cells() []Cell {
 	var cells []Cell
-	for _, s := range suites {
+	for _, s := range fig8Suites() {
 		for _, b := range s.benchs {
 			cells = append(cells, Cell{b, config.Baseline, 114})
 			for _, sb := range SBSizes {
@@ -58,7 +65,14 @@ func Fig8(r *Runner) ([]Fig8Row, error) {
 			}
 		}
 	}
-	if err := r.Prefetch(cells); err != nil {
+	return cells
+}
+
+// Fig8 regenerates the scalability analysis: geomean speedup over the
+// 114-entry baseline for every mechanism, SB size, and suite.
+func Fig8(r *Runner) ([]Fig8Row, error) {
+	suites := fig8Suites()
+	if err := r.Prefetch(fig8Cells()); err != nil {
 		return nil, err
 	}
 	var rows []Fig8Row

@@ -32,13 +32,6 @@ import (
 	"tusim/internal/workload"
 )
 
-// HarnessVersion keys the persistent result cache: bump it whenever a
-// change anywhere in the simulator can alter cell results, so stale
-// cache entries from older binaries can never masquerade as fresh runs.
-// (v4: stat sets carry occupancy/latency histograms that must
-// round-trip through the cache.)
-const HarnessVersion = "tusim-harness-4"
-
 // Result captures one simulation run.
 type Result struct {
 	Bench  string
@@ -94,6 +87,16 @@ type Runner struct {
 	// Called from worker goroutines; the callback must be safe for
 	// concurrent use when Workers > 1.
 	OnTrace func(key string, t *trace.Tracer)
+	// OnCellDone, when set, observes every cell completion exactly once
+	// per process: it fires on the singleflight owner's path after the
+	// cell is computed (freshly simulated, loaded from the disk cache, or
+	// failed), never again for later memoized Run calls on the same key.
+	// cached reports a disk-cache hit; d is the wall-clock the scheduler
+	// waited for the cell, including supervised retries and backoff. The
+	// callback runs on worker goroutines and must be safe for concurrent
+	// use when Workers > 1. tusd uses it for per-cell job progress and
+	// the cell-latency metrics histogram.
+	OnCellDone func(key string, cached bool, d time.Duration, err error)
 	// Supervisor, when non-nil, runs every simulation inside the cell
 	// supervision layer: panic capture, calibrated deadlines, bounded
 	// retries for transient failures, and quarantine for deterministic
@@ -190,17 +193,23 @@ func (r *Runner) Run(b workload.Benchmark, m config.Mechanism, sbSize int) (Resu
 		<-c.done
 		return c.res, c.err
 	}
-	c.res, c.err = r.compute(b, m, sbSize, key)
+	start := time.Now()
+	var cached bool
+	c.res, cached, c.err = r.compute(b, m, sbSize, key)
+	if r.OnCellDone != nil {
+		r.OnCellDone(key, cached, time.Since(start), c.err)
+	}
 	close(c.done)
 	return c.res, c.err
 }
 
 // compute performs the actual simulation (or persistent-cache load)
 // behind Run's singleflight gate, routing fresh simulations through the
-// supervisor when one is attached.
-func (r *Runner) compute(b workload.Benchmark, m config.Mechanism, sbSize int, key string) (Result, error) {
+// supervisor when one is attached. cached reports whether the result
+// was served from the disk cache instead of simulated.
+func (r *Runner) compute(b workload.Benchmark, m config.Mechanism, sbSize int, key string) (_ Result, cached bool, _ error) {
 	if !b.Valid() {
-		return Result{}, fmt.Errorf("harness: %s: unknown or zero-value benchmark", key)
+		return Result{}, false, fmt.Errorf("harness: %s: unknown or zero-value benchmark", key)
 	}
 	cfg := config.Default().WithMechanism(m).WithSB(sbSize).WithCores(b.Threads)
 	ckey := r.contentKey(b, cfg)
@@ -212,7 +221,7 @@ func (r *Runner) compute(b workload.Benchmark, m config.Mechanism, sbSize int, k
 			if r.Verbose {
 				fmt.Printf("  hit %-28s cycles=%-10d (cache)\n", key, res.Cycles)
 			}
-			return res, nil
+			return res, true, nil
 		case CacheCorrupt:
 			r.cacheCorrupt.Add(1)
 			r.corruptOnce.Do(func() {
@@ -221,7 +230,8 @@ func (r *Runner) compute(b workload.Benchmark, m config.Mechanism, sbSize int, k
 		}
 	}
 	if r.Supervisor == nil {
-		return r.simulate(b, cfg, key, ckey)
+		res, err := r.simulate(b, cfg, key, ckey)
+		return res, false, err
 	}
 	// Supervised path. A deadline-abandoned attempt keeps running as a
 	// zombie goroutine (goroutines cannot be killed), so result
@@ -246,9 +256,9 @@ func (r *Runner) compute(b workload.Benchmark, m config.Mechanism, sbSize int, k
 	resMu.Lock()
 	defer resMu.Unlock()
 	if err != nil {
-		return Result{}, err
+		return Result{}, false, err
 	}
-	return res, nil
+	return res, false, nil
 }
 
 // simulate runs one cell for real (no cache probe) and writes the

@@ -1,0 +1,209 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"tusim/internal/workload"
+)
+
+// This file is the single registry of everything the evaluation can
+// produce: which figures exist, which benchmarks exist, and which
+// simulation cells each figure runs. `tusbench -list`, tusd's
+// GET /v1/figures, and the server's per-job progress accounting all
+// read the same tables, so the CLI and the service can never disagree
+// about what is servable.
+
+// FigureSpec describes one regenerable figure of Sec. VI.
+type FigureSpec struct {
+	// Fig is the paper's figure number (8-15).
+	Fig int
+	// Name is the short tag used in reports and timings ("fig9").
+	Name string
+	// Title is the one-line human description.
+	Title string
+	// DegradeTags are the figure tags the builders record quarantine
+	// degradations under; a served figure response surfaces every
+	// DegradedCell whose Figure field matches one of these.
+	DegradeTags []string
+}
+
+// figureSpecs lists every figure in paper order.
+var figureSpecs = []FigureSpec{
+	{8, "fig8", "geomean speedup vs 114-entry-SB baseline, by SB size and suite", []string{"fig8"}},
+	{9, "fig9", "SB-induced dispatch stalls (% of cycles), 114-entry SB, ST SB-bound", []string{"fig9"}},
+	{10, "fig10", "speedup S-curve + SB-bound breakdown vs 114-entry-SB baseline", []string{"speedups_114_114"}},
+	{11, "fig11", "normalized EDP @114 SB, ST SB-bound", []string{"edp_114_114"}},
+	{12, "fig12", "Parsec speedup + EDP @114 SB", []string{"parsec_114_114", "edp_114_114"}},
+	{13, "fig13", "speedup S-curve + SB-bound breakdown vs 32-entry-SB baseline", []string{"speedups_32_32"}},
+	{14, "fig14", "Parsec speedup + EDP @32 SB", []string{"parsec_32_32", "edp_32_32"}},
+	{15, "fig15", "normalized EDP @32 SB, ST SB-bound", []string{"edp_32_32"}},
+}
+
+// Figures returns every regenerable figure in paper order.
+func Figures() []FigureSpec {
+	return append([]FigureSpec(nil), figureSpecs...)
+}
+
+// FigureByNum looks a figure up by its paper number.
+func FigureByNum(fig int) (FigureSpec, bool) {
+	for _, f := range figureSpecs {
+		if f.Fig == fig {
+			return f, true
+		}
+	}
+	return FigureSpec{}, false
+}
+
+// CellKey renders the cell's in-process identity, matching Runner.Run's
+// singleflight key ("bench/mech/sb") and the journal's cell records.
+func CellKey(c Cell) string {
+	return fmt.Sprintf("%s/%v/%d", c.Bench.Name, c.Mech, c.SB)
+}
+
+// FigureCells returns the figure's full simulation cell list, deduped
+// in first-appearance order — exactly the distinct cells a cold
+// regeneration simulates. An unknown figure returns nil.
+func FigureCells(fig int) []Cell {
+	var raw []Cell
+	switch fig {
+	case 8:
+		raw = fig8Cells()
+	case 9:
+		raw = fullMatrix(workload.SBBound(), 114, 114)
+	case 10:
+		raw = fullMatrix(workload.All(), 114, 114)
+	case 11:
+		raw = fullMatrix(workload.SBBound(), 114, 114)
+	case 12:
+		raw = fullMatrix(workload.BySuite(workload.Parsec), 114, 114)
+	case 13:
+		raw = fullMatrix(workload.All(), 32, 32)
+	case 14:
+		raw = fullMatrix(workload.BySuite(workload.Parsec), 32, 32)
+	case 15:
+		raw = fullMatrix(workload.SBBound(), 32, 32)
+	default:
+		return nil
+	}
+	seen := make(map[string]bool, len(raw))
+	out := make([]Cell, 0, len(raw))
+	for _, c := range raw {
+		k := CellKey(c)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// RenderFigure regenerates figure fig through r and writes it to w in
+// the exact byte form `tusbench -fig <n>` prints: the table followed by
+// one blank line. tusd serves these same bytes, which is what makes a
+// network fetch diffable against the CLI.
+func RenderFigure(r *Runner, fig int, w io.Writer) error {
+	switch fig {
+	case 8:
+		rows, err := Fig8(r)
+		if err != nil {
+			return err
+		}
+		PrintFig8(w, rows)
+	case 9:
+		rows, err := Fig9(r)
+		if err != nil {
+			return err
+		}
+		PrintFig9(w, rows)
+	case 10:
+		s, err := Speedups(r, 114, 114)
+		if err != nil {
+			return err
+		}
+		s.Print(w, "Figure 10")
+	case 11:
+		s, err := EDP(r, workload.SBBound(), 114, 114)
+		if err != nil {
+			return err
+		}
+		s.Print(w, "Figure 11")
+	case 12:
+		s, err := Parsec(r, 114, 114)
+		if err != nil {
+			return err
+		}
+		s.Print(w, "Figure 12")
+	case 13:
+		s, err := Speedups(r, 32, 32)
+		if err != nil {
+			return err
+		}
+		s.Print(w, "Figure 13")
+	case 14:
+		s, err := Parsec(r, 32, 32)
+		if err != nil {
+			return err
+		}
+		s.Print(w, "Figure 14")
+	case 15:
+		s, err := EDP(r, workload.SBBound(), 32, 32)
+		if err != nil {
+			return err
+		}
+		s.Print(w, "Figure 15")
+	default:
+		return fmt.Errorf("unknown figure %d", fig)
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// FigureInfo is the machine-readable registry row for one figure.
+type FigureInfo struct {
+	Fig   int    `json:"fig"`
+	Name  string `json:"name"`
+	Title string `json:"title"`
+	// Cells is the number of distinct simulation cells a cold
+	// regeneration runs.
+	Cells int `json:"cells"`
+}
+
+// BenchInfo is the machine-readable registry row for one benchmark
+// proxy.
+type BenchInfo struct {
+	Name    string `json:"name"`
+	Suite   string `json:"suite"`
+	Threads int    `json:"threads"`
+	SBBound bool   `json:"sb_bound"`
+}
+
+// ListReport is the full servable inventory, emitted by
+// `tusbench -list` and GET /v1/figures.
+type ListReport struct {
+	HarnessVersion string       `json:"harness_version"`
+	Figures        []FigureInfo `json:"figures"`
+	Benches        []BenchInfo  `json:"benches"`
+}
+
+// List assembles the servable inventory from the registry tables.
+func List() ListReport {
+	rep := ListReport{HarnessVersion: Version}
+	for _, f := range figureSpecs {
+		rep.Figures = append(rep.Figures, FigureInfo{
+			Fig:   f.Fig,
+			Name:  f.Name,
+			Title: f.Title,
+			Cells: len(FigureCells(f.Fig)),
+		})
+	}
+	for _, b := range workload.All() {
+		rep.Benches = append(rep.Benches, BenchInfo{
+			Name:    b.Name,
+			Suite:   b.Suite.String(),
+			Threads: b.Threads,
+			SBBound: b.SBBound,
+		})
+	}
+	return rep
+}

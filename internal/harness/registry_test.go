@@ -1,0 +1,104 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"tusim/internal/config"
+	"tusim/internal/workload"
+)
+
+// TestRegistryCoversEveryFigure pins the servable inventory: all eight
+// figures of Sec. VI are registered, each with a non-empty, duplicate-
+// free cell list, and the numbers agree with what tusbench -list and
+// GET /v1/figures report.
+func TestRegistryCoversEveryFigure(t *testing.T) {
+	figs := Figures()
+	if len(figs) != 8 {
+		t.Fatalf("Figures() = %d specs, want 8", len(figs))
+	}
+	for i, f := range figs {
+		if f.Fig != 8+i {
+			t.Errorf("Figures()[%d].Fig = %d, want %d (paper order)", i, f.Fig, 8+i)
+		}
+		cells := FigureCells(f.Fig)
+		if len(cells) == 0 {
+			t.Errorf("fig%d: no cells", f.Fig)
+		}
+		seen := map[string]bool{}
+		for _, c := range cells {
+			k := CellKey(c)
+			if seen[k] {
+				t.Errorf("fig%d: duplicate cell %s", f.Fig, k)
+			}
+			seen[k] = true
+		}
+		if len(f.DegradeTags) == 0 {
+			t.Errorf("fig%d: no degrade tags (quarantine would be invisible)", f.Fig)
+		}
+	}
+	if _, ok := FigureByNum(7); ok {
+		t.Error("FigureByNum(7) = ok, want miss")
+	}
+	if _, ok := FigureByNum(9); !ok {
+		t.Error("FigureByNum(9) missed")
+	}
+}
+
+// TestFig9CellCount pins the acceptance-criterion number: Fig. 9 is the
+// ST SB-bound matrix at 114 entries — 11 benchmarks x 5 distinct cells
+// (the baseline cell coincides with the Baseline mechanism column).
+func TestFig9CellCount(t *testing.T) {
+	want := len(workload.SBBound()) * len(config.Mechanisms)
+	if got := len(FigureCells(9)); got != want {
+		t.Fatalf("fig9 cells = %d, want %d", got, want)
+	}
+}
+
+// TestCellKeyMatchesRunKey pins CellKey to the exact key Runner.Run
+// builds, which is what lets tusd index per-cell completion events.
+func TestCellKeyMatchesRunKey(t *testing.T) {
+	b, ok := workload.ByName("502.gcc1")
+	if !ok {
+		t.Fatal("502.gcc1 missing")
+	}
+	c := Cell{Bench: b, Mech: config.TUS, SB: 32}
+	want := fmt.Sprintf("%s/%v/%d", b.Name, config.TUS, 32)
+	if got := CellKey(c); got != want {
+		t.Fatalf("CellKey = %q, want %q", got, want)
+	}
+}
+
+// TestListReport checks the -list / GET /v1/figures payload is
+// assembled from the same registry tables.
+func TestListReport(t *testing.T) {
+	rep := List()
+	if rep.HarnessVersion != Version {
+		t.Errorf("HarnessVersion = %q, want %q", rep.HarnessVersion, Version)
+	}
+	if len(rep.Figures) != len(Figures()) {
+		t.Errorf("Figures = %d rows, want %d", len(rep.Figures), len(Figures()))
+	}
+	for _, f := range rep.Figures {
+		if f.Cells != len(FigureCells(f.Fig)) {
+			t.Errorf("fig%d: listed cells %d != registry %d", f.Fig, f.Cells, len(FigureCells(f.Fig)))
+		}
+		if f.Title == "" || f.Name == "" {
+			t.Errorf("fig%d: empty name/title", f.Fig)
+		}
+	}
+	if len(rep.Benches) != len(workload.All()) {
+		t.Errorf("Benches = %d rows, want %d", len(rep.Benches), len(workload.All()))
+	}
+}
+
+// TestRenderFigureUnknown pins the error path (the server surfaces it
+// as a 400).
+func TestRenderFigureUnknown(t *testing.T) {
+	r := NewQuickRunner()
+	err := RenderFigure(r, 99, &strings.Builder{})
+	if err == nil || !strings.Contains(err.Error(), "unknown figure") {
+		t.Fatalf("RenderFigure(99) err = %v, want unknown-figure error", err)
+	}
+}

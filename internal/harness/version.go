@@ -1,0 +1,15 @@
+package harness
+
+// Version is the single harness identity string shared by every layer
+// that must agree on what "the same result" means: the content-addressed
+// disk cache keys it, cache entries embed it, BENCH_harness.json records
+// it, the run journal header carries it so a resume under a different
+// binary is detected, and tusd reports it from /healthz and /metrics.
+// Bump it whenever a change anywhere in the simulator can alter cell
+// results, so stale entries from older binaries can never masquerade as
+// fresh runs. Keeping it in one exported constant (instead of per-layer
+// copies) is what makes skew between those layers impossible.
+//
+// (v4: stat sets carry occupancy/latency histograms that must
+// round-trip through the cache.)
+const Version = "tusim-harness-4"

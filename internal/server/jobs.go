@@ -1,0 +1,501 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+
+	"tusim/internal/config"
+	"tusim/internal/harness"
+	"tusim/internal/litmus"
+	"tusim/internal/modelcheck"
+	"tusim/internal/supervise"
+	"tusim/internal/workload"
+)
+
+// Job states. A job is terminal in exactly one of done/failed/canceled;
+// the first transition wins (a canceled job whose abandoned build later
+// completes stays canceled).
+const (
+	JobQueued   = "queued"
+	JobRunning  = "running"
+	JobDone     = "done"
+	JobFailed   = "failed"
+	JobCanceled = "canceled"
+)
+
+// JobRequest is the POST /v1/jobs body. Kind selects the job type;
+// the other fields parameterize it:
+//
+//	{"kind":"figure","fig":9}
+//	{"kind":"hist","sb":114}
+//	{"kind":"cells","benches":["502.gcc5"],"mechs":["base","TUS"],"sbs":[114]}
+//	{"kind":"litmus","progs":["SB","MP"],"mechs":["TUS"],"smoke":true}
+type JobRequest struct {
+	Kind    string   `json:"kind"`
+	Fig     int      `json:"fig,omitempty"`
+	SB      int      `json:"sb,omitempty"`
+	Benches []string `json:"benches,omitempty"`
+	Mechs   []string `json:"mechs,omitempty"`
+	SBs     []int    `json:"sbs,omitempty"`
+	Progs   []string `json:"progs,omitempty"`
+	Smoke   bool     `json:"smoke,omitempty"`
+}
+
+// JobJSON is the wire form of a job's status.
+type JobJSON struct {
+	ID    string `json:"id"`
+	Kind  string `json:"kind"`
+	Name  string `json:"name"`
+	State string `json:"state"`
+	// Key is the job's content-addressed coalesce key: identical
+	// requests share it (and, while one is in flight, share the job).
+	Key   string `json:"key"`
+	Error string `json:"error,omitempty"`
+	// CellsTotal is the job's full simulation-cell matrix; CellsDone
+	// counts first-time completions observed while this job was in
+	// flight, split into CellsRun (simulated) and CellsCached (served
+	// from the shared disk cache). A warm job completes with
+	// cells_run == 0: the whole matrix came from cache or from cells
+	// already memoized in-process.
+	CellsTotal  int `json:"cells_total"`
+	CellsDone   int `json:"cells_done"`
+	CellsRun    int `json:"cells_run"`
+	CellsCached int `json:"cells_cached"`
+	// Coalesced counts later identical requests that attached to this
+	// job instead of starting their own.
+	Coalesced int `json:"coalesced"`
+	// Degraded lists quarantined cells the figure builders skipped; a
+	// response carrying this section is an explicit partial result.
+	Degraded   []harness.DegradedCell `json:"degraded,omitempty"`
+	CreatedAt  string                 `json:"created_at"`
+	StartedAt  string                 `json:"started_at,omitempty"`
+	FinishedAt string                 `json:"finished_at,omitempty"`
+	Seconds    float64                `json:"seconds,omitempty"`
+}
+
+// sseEvent is one server-sent event: a name and a JSON payload.
+type sseEvent struct {
+	name string
+	data []byte
+}
+
+// Job is one scheduled unit of work. All mutable state is behind mu;
+// done closes exactly once on the first terminal transition.
+type Job struct {
+	ID   string
+	Kind string
+	Name string
+	Key  string
+
+	mu          sync.Mutex
+	state       string
+	output      []byte
+	contentType string
+	errMsg      string
+	degraded    []harness.DegradedCell
+	cellsTotal  int
+	pending     map[string]bool
+	cellsDone   int
+	cellsRun    int
+	cellsCached int
+	coalesced   int
+	created     time.Time
+	started     time.Time
+	finished    time.Time
+	subs        map[chan sseEvent]bool
+
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+// view snapshots the job as wire JSON.
+func (j *Job) view() JobJSON {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobJSON{
+		ID:          j.ID,
+		Kind:        j.Kind,
+		Name:        j.Name,
+		State:       j.state,
+		Key:         j.Key,
+		Error:       j.errMsg,
+		CellsTotal:  j.cellsTotal,
+		CellsDone:   j.cellsDone,
+		CellsRun:    j.cellsRun,
+		CellsCached: j.cellsCached,
+		Coalesced:   j.coalesced,
+		Degraded:    append([]harness.DegradedCell(nil), j.degraded...),
+		CreatedAt:   j.created.UTC().Format(time.RFC3339Nano),
+	}
+	if !j.started.IsZero() {
+		v.StartedAt = j.started.UTC().Format(time.RFC3339Nano)
+	}
+	if !j.finished.IsZero() {
+		v.FinishedAt = j.finished.UTC().Format(time.RFC3339Nano)
+		v.Seconds = j.finished.Sub(j.started).Seconds()
+	}
+	return v
+}
+
+// Output returns the job's result bytes and content type once terminal.
+func (j *Job) Output() (data []byte, contentType string, state string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.output, j.contentType, j.state
+}
+
+// broadcast sends ev to every subscriber without blocking: a slow SSE
+// client drops intermediate cell events but always receives the
+// terminal snapshot (the stream re-sends it from job.done).
+func (j *Job) broadcast(ev sseEvent) {
+	for ch := range j.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+}
+
+// subscribe registers an SSE listener and returns its channel plus an
+// initial snapshot event.
+func (j *Job) subscribe() (chan sseEvent, sseEvent) {
+	ch := make(chan sseEvent, 64)
+	j.mu.Lock()
+	if j.subs == nil {
+		j.subs = map[chan sseEvent]bool{}
+	}
+	j.subs[ch] = true
+	snap := j.stateEventLocked()
+	j.mu.Unlock()
+	return ch, snap
+}
+
+// unsubscribe removes an SSE listener.
+func (j *Job) unsubscribe(ch chan sseEvent) {
+	j.mu.Lock()
+	delete(j.subs, ch)
+	j.mu.Unlock()
+}
+
+// stateEventLocked renders the job's current state as an event; callers
+// hold mu.
+func (j *Job) stateEventLocked() sseEvent {
+	data, _ := json.Marshal(map[string]any{
+		"state":        j.state,
+		"cells_total":  j.cellsTotal,
+		"cells_done":   j.cellsDone,
+		"cells_run":    j.cellsRun,
+		"cells_cached": j.cellsCached,
+	})
+	return sseEvent{name: "state", data: data}
+}
+
+// jobPlan is a validated, runnable job: its coalesce key, its known
+// cell matrix (nil for litmus jobs, which do not go through the
+// Runner), and the build function.
+type jobPlan struct {
+	kind        string
+	name        string
+	key         string
+	cells       []harness.Cell
+	degradeTags []string
+	contentType string
+	// total overrides the progress denominator for jobs whose work does
+	// not flow through the Runner (litmus); 0 means len(cells).
+	total int
+	// timed, when non-empty, records the build's wall-clock under this
+	// name in the server's BenchRecorder (the /v1/bench trajectory).
+	timed string
+	run   func(ctx context.Context, j *Job) ([]byte, error)
+}
+
+// plan validates a request against the registry and compiles it.
+func (s *Server) plan(req JobRequest) (*jobPlan, error) {
+	switch req.Kind {
+	case "figure":
+		return s.planFigure(req.Fig)
+	case "hist":
+		sb := req.SB
+		if sb == 0 {
+			sb = 114
+		}
+		return s.planHist(sb)
+	case "cells":
+		return s.planCells(req)
+	case "litmus":
+		return s.planLitmus(req)
+	}
+	return nil, fmt.Errorf("unknown job kind %q (want figure, hist, cells, or litmus)", req.Kind)
+}
+
+// cellsKey derives the job's coalesce key from the cells' existing
+// content-addressed cache keys, so two requests coalesce exactly when
+// they would share every cache entry.
+func (s *Server) cellsKey(kind, extra string, cells []harness.Cell) string {
+	h := sha256.New()
+	io.WriteString(h, harness.Version+"|"+kind+"|"+extra)
+	for _, c := range cells {
+		io.WriteString(h, "|")
+		io.WriteString(h, s.r.ContentKey(c))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func (s *Server) planFigure(fig int) (*jobPlan, error) {
+	spec, ok := harness.FigureByNum(fig)
+	if !ok {
+		return nil, fmt.Errorf("unknown figure %d (GET /v1/figures lists the servable set)", fig)
+	}
+	cells := harness.FigureCells(fig)
+	return &jobPlan{
+		kind:        "figure",
+		name:        spec.Name,
+		key:         s.cellsKey("figure", spec.Name, cells),
+		cells:       cells,
+		degradeTags: spec.DegradeTags,
+		contentType: "text/plain; charset=utf-8",
+		timed:       spec.Name,
+		run: func(ctx context.Context, j *Job) ([]byte, error) {
+			var buf bytes.Buffer
+			if err := harness.RenderFigure(s.r, fig, &buf); err != nil {
+				return nil, err
+			}
+			return buf.Bytes(), nil
+		},
+	}, nil
+}
+
+func (s *Server) planHist(sb int) (*jobPlan, error) {
+	if sb <= 0 {
+		return nil, fmt.Errorf("hist: sb must be positive, got %d", sb)
+	}
+	cells := dedupCells(fullHistMatrix(sb))
+	name := fmt.Sprintf("hist@%d", sb)
+	return &jobPlan{
+		kind:        "hist",
+		name:        name,
+		key:         s.cellsKey("hist", name, cells),
+		cells:       cells,
+		degradeTags: []string{"histograms"},
+		contentType: "text/plain; charset=utf-8",
+		run: func(ctx context.Context, j *Job) ([]byte, error) {
+			rows, err := harness.Histograms(s.r, sb)
+			if err != nil {
+				return nil, err
+			}
+			var buf bytes.Buffer
+			harness.PrintHistograms(&buf, rows)
+			return buf.Bytes(), nil
+		},
+	}, nil
+}
+
+// fullHistMatrix mirrors harness.Histograms's cell set: the ST SB-bound
+// matrix at one SB size.
+func fullHistMatrix(sb int) []harness.Cell {
+	var cells []harness.Cell
+	for _, b := range workload.SBBound() {
+		cells = append(cells, harness.Cell{Bench: b, Mech: config.Baseline, SB: sb})
+		for _, m := range config.Mechanisms {
+			cells = append(cells, harness.Cell{Bench: b, Mech: m, SB: sb})
+		}
+	}
+	return cells
+}
+
+// dedupCells drops duplicate cell keys, keeping first-appearance order.
+func dedupCells(cells []harness.Cell) []harness.Cell {
+	seen := make(map[string]bool, len(cells))
+	out := make([]harness.Cell, 0, len(cells))
+	for _, c := range cells {
+		k := harness.CellKey(c)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// cellRow is one cell-matrix result row.
+type cellRow struct {
+	Bench       string  `json:"bench"`
+	Mech        string  `json:"mech"`
+	SB          int     `json:"sb"`
+	Cycles      uint64  `json:"cycles,omitempty"`
+	SBStallPct  float64 `json:"sb_stall_pct,omitempty"`
+	EDP         float64 `json:"edp,omitempty"`
+	Quarantined string  `json:"quarantined,omitempty"`
+}
+
+func (s *Server) planCells(req JobRequest) (*jobPlan, error) {
+	if len(req.Benches) == 0 {
+		return nil, fmt.Errorf("cells: benches is required")
+	}
+	mechs := req.Mechs
+	if len(mechs) == 0 {
+		mechs = []string{"base", "TUS"}
+	}
+	sbs := req.SBs
+	if len(sbs) == 0 {
+		sbs = []int{114}
+	}
+	var cells []harness.Cell
+	for _, name := range req.Benches {
+		b, ok := workload.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("cells: unknown benchmark %q (GET /v1/figures lists the servable set)", name)
+		}
+		for _, mn := range mechs {
+			m, err := config.ParseMechanism(mn)
+			if err != nil {
+				return nil, fmt.Errorf("cells: %w", err)
+			}
+			for _, sb := range sbs {
+				if sb <= 0 {
+					return nil, fmt.Errorf("cells: sb must be positive, got %d", sb)
+				}
+				cells = append(cells, harness.Cell{Bench: b, Mech: m, SB: sb})
+			}
+		}
+	}
+	cells = dedupCells(cells)
+	name := fmt.Sprintf("cells(%d)", len(cells))
+	return &jobPlan{
+		kind:        "cells",
+		name:        name,
+		key:         s.cellsKey("cells", "", cells),
+		cells:       cells,
+		contentType: "application/json",
+		run: func(ctx context.Context, j *Job) ([]byte, error) {
+			// Prefetch fans the matrix out to the worker pool; rows then
+			// assemble in deterministic request order. Cancellation is
+			// honored between rows.
+			if err := s.r.Prefetch(cells); err != nil {
+				return nil, err
+			}
+			rows := make([]cellRow, 0, len(cells))
+			for _, c := range cells {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+				row := cellRow{Bench: c.Bench.Name, Mech: c.Mech.String(), SB: c.SB}
+				res, err := s.r.Run(c.Bench, c.Mech, c.SB)
+				switch {
+				case err == nil:
+					row.Cycles = res.Cycles
+					row.SBStallPct = res.SBStallPct()
+					row.EDP = res.EDP
+				case isQuarantined(err):
+					row.Quarantined = err.Error()
+				default:
+					return nil, err
+				}
+				rows = append(rows, row)
+			}
+			data, err := json.MarshalIndent(rows, "", "  ")
+			if err != nil {
+				return nil, err
+			}
+			return append(data, '\n'), nil
+		},
+	}, nil
+}
+
+// isQuarantined reports whether err is a supervisor quarantine (the
+// cells job surfaces these per-row instead of failing the job).
+func isQuarantined(err error) bool {
+	var q *supervise.Quarantined
+	return errors.As(err, &q)
+}
+
+func (s *Server) planLitmus(req JobRequest) (*jobPlan, error) {
+	tests := litmus.Tests()
+	byName := make(map[string]litmus.Test, len(tests))
+	var names []string
+	for _, lt := range tests {
+		byName[lt.Name] = lt
+		names = append(names, lt.Name)
+	}
+	selected := tests
+	if len(req.Progs) > 0 {
+		selected = nil
+		for _, n := range req.Progs {
+			lt, ok := byName[n]
+			if !ok {
+				return nil, fmt.Errorf("litmus: unknown program %q (suite: %s)", n, strings.Join(names, ","))
+			}
+			selected = append(selected, lt)
+		}
+	}
+	mechNames := req.Mechs
+	if len(mechNames) == 0 {
+		mechNames = []string{"base", "CSB", "TUS"}
+	}
+	var mechs []config.Mechanism
+	for _, mn := range mechNames {
+		m, err := config.ParseMechanism(mn)
+		if err != nil {
+			return nil, fmt.Errorf("litmus: %w", err)
+		}
+		mechs = append(mechs, m)
+	}
+	eo := modelcheck.ExploreOpts{Skews: 8, MaxDecisions: 8, MaxRuns: 512}
+	if req.Smoke {
+		eo.Skews, eo.MaxDecisions, eo.MaxRuns = 3, 4, 64
+	}
+	var progNames []string
+	for _, lt := range selected {
+		progNames = append(progNames, lt.Name)
+	}
+	extra := fmt.Sprintf("progs=%s|mechs=%s|smoke=%v", strings.Join(progNames, ","), strings.Join(mechNames, ","), req.Smoke)
+	total := len(selected) * len(mechs)
+	return &jobPlan{
+		kind:        "litmus",
+		name:        fmt.Sprintf("litmus(%d)", total),
+		key:         s.cellsKey("litmus", extra, nil),
+		contentType: "text/plain; charset=utf-8",
+		total:       total,
+		run: func(ctx context.Context, j *Job) ([]byte, error) {
+			var buf bytes.Buffer
+			unsound := 0
+			done := 0
+			for _, lt := range selected {
+				for _, m := range mechs {
+					if err := ctx.Err(); err != nil {
+						return nil, err
+					}
+					rep, err := modelcheck.Check(lt, m, eo, modelcheck.Limits{MaxStates: modelcheck.DefaultMaxStates})
+					if err != nil {
+						return nil, err
+					}
+					rep.Write(&buf)
+					if !rep.Sound() {
+						unsound++
+					}
+					done++
+					s.jobCellEvent(j, fmt.Sprintf("%s/%v", lt.Name, m), false, 0, done, total, nil)
+				}
+			}
+			if unsound > 0 {
+				// The report text is still the job output; the error marks
+				// the job failed so clients cannot mistake it for a pass.
+				j.mu.Lock()
+				j.output = buf.Bytes()
+				j.contentType = "text/plain; charset=utf-8"
+				j.mu.Unlock()
+				return buf.Bytes(), fmt.Errorf("unsound: %d litmus cell(s) produced TSO-forbidden behaviour", unsound)
+			}
+			return buf.Bytes(), nil
+		},
+	}, nil
+}

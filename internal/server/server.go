@@ -1,0 +1,726 @@
+// Package server is tusd's service layer: it turns the one-shot
+// evaluation harness into a long-running, network-facing query service.
+// Figure, histogram, cell-matrix, and litmus-check jobs are scheduled
+// on a bounded pool that reuses the process-wide harness.Runner (worker
+// pool, supervision, quarantine) and its shared content-addressed disk
+// cache; identical in-flight requests coalesce via singleflight keyed
+// on the cells' existing cache keys; per-cell progress streams over
+// SSE; /metrics exposes Prometheus text with no dependencies.
+//
+// Determinism contract: a figure job's bytes are exactly what
+// `tusbench -fig <n>` prints for the same scale flags — the server
+// calls the same harness.RenderFigure the CLI does, and the harness's
+// parallel/cached paths are byte-identical by construction. The CI
+// smoke job diffs the two byte-for-byte.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tusim/internal/harness"
+	"tusim/internal/stats"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Runner is the shared harness runner (required). The server owns
+	// its OnCellDone hook: per-cell progress dispatch and the cell
+	// latency histogram hang off it.
+	Runner *harness.Runner
+	// MaxJobs bounds concurrently building jobs; queued jobs wait.
+	// Cell-level parallelism inside one job is still bounded by
+	// Runner.Workers. Default 2.
+	MaxJobs int
+	// JobTimeout is the per-job deadline; a job that exceeds it fails
+	// with "job deadline exceeded". 0 disables.
+	JobTimeout time.Duration
+	// KeepJobs bounds the finished-job history in the registry (oldest
+	// terminal jobs are evicted past it). Default 512.
+	KeepJobs int
+	// Warnf receives operational warnings (never figure output). Nil
+	// discards.
+	Warnf func(format string, args ...any)
+}
+
+// Server is the tusd core, independent of the listener so tests can
+// drive it through httptest.
+type Server struct {
+	o   Options
+	r   *harness.Runner
+	rec *harness.BenchRecorder
+	mux *http.ServeMux
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string        // job IDs in creation order
+	inflight map[string]*Job // coalesce key -> non-terminal job
+	byCell   map[string]map[*Job]bool
+	seq      int
+	// jobsCompleted counts terminal jobs by (kind, terminal state).
+	jobsCompleted map[[2]string]int64
+
+	jobsInflight atomic.Int64
+	coalescedN   atomic.Int64
+
+	// cellHist observes the scheduler-side wall latency of every
+	// freshly simulated cell, in microseconds (stats.Histogram reused
+	// for /metrics export).
+	metricSet *stats.Set
+	cellHist  *stats.Histogram
+
+	// sem is the bounded job pool: one slot per concurrently building
+	// job.
+	sem chan struct{}
+
+	draining atomic.Bool
+	builds   sync.WaitGroup
+	started  time.Time
+}
+
+// New builds a server around the shared runner and installs its
+// OnCellDone hook.
+func New(o Options) *Server {
+	if o.Runner == nil {
+		panic("server: Options.Runner is required")
+	}
+	if o.MaxJobs <= 0 {
+		o.MaxJobs = 2
+	}
+	if o.KeepJobs <= 0 {
+		o.KeepJobs = 512
+	}
+	ms := stats.NewSet("tusd")
+	s := &Server{
+		o:             o,
+		r:             o.Runner,
+		rec:           harness.NewBenchRecorder(o.Runner),
+		jobs:          map[string]*Job{},
+		inflight:      map[string]*Job{},
+		byCell:        map[string]map[*Job]bool{},
+		jobsCompleted: map[[2]string]int64{},
+		metricSet:     ms,
+		cellHist:      ms.Histogram("cell_latency_us"),
+		started:       time.Now(),
+	}
+	s.sem = make(chan struct{}, o.MaxJobs)
+	o.Runner.OnCellDone = s.onCellDone
+	s.mux = http.NewServeMux()
+	s.routes()
+	return s
+}
+
+// warnf routes an operational warning.
+func (s *Server) warnf(format string, args ...any) {
+	if s.o.Warnf != nil {
+		s.o.Warnf(format, args...)
+	}
+}
+
+// onCellDone is the Runner's cell-completion hook: it feeds the cell
+// latency histogram and fans progress out to every job waiting on that
+// cell. It runs on harness worker goroutines.
+func (s *Server) onCellDone(key string, cached bool, d time.Duration, err error) {
+	if !cached && err == nil {
+		s.cellHist.Observe(uint64(d.Microseconds()))
+	}
+	s.mu.Lock()
+	waiters := s.byCell[key]
+	var jobs []*Job
+	for j := range waiters {
+		jobs = append(jobs, j)
+	}
+	delete(s.byCell, key)
+	s.mu.Unlock()
+	for _, j := range jobs {
+		s.deliverCell(j, key, cached, d, err)
+	}
+}
+
+// deliverCell updates one job's progress for a completed cell and
+// broadcasts the event. Idempotent per (job, cell): late zombie
+// completions after a supervised deadline cannot double-count.
+func (s *Server) deliverCell(j *Job, key string, cached bool, d time.Duration, err error) {
+	j.mu.Lock()
+	if !j.pending[key] {
+		j.mu.Unlock()
+		return
+	}
+	delete(j.pending, key)
+	j.cellsDone++
+	if err == nil {
+		if cached {
+			j.cellsCached++
+		} else {
+			j.cellsRun++
+		}
+	}
+	ev := map[string]any{
+		"cell":    key,
+		"cached":  cached,
+		"seconds": d.Seconds(),
+		"done":    j.cellsDone,
+		"total":   j.cellsTotal,
+	}
+	if err != nil {
+		ev["error"] = err.Error()
+	}
+	data, _ := json.Marshal(ev)
+	j.broadcast(sseEvent{name: "cell", data: data})
+	j.mu.Unlock()
+}
+
+// jobCellEvent reports direct (non-Runner) per-cell progress; the
+// litmus job uses it since model-check cells do not flow through the
+// harness.
+func (s *Server) jobCellEvent(j *Job, cell string, cached bool, seconds float64, done, total int, err error) {
+	j.mu.Lock()
+	j.cellsDone = done
+	ev := map[string]any{
+		"cell":    cell,
+		"cached":  cached,
+		"seconds": seconds,
+		"done":    done,
+		"total":   total,
+	}
+	if err != nil {
+		ev["error"] = err.Error()
+	}
+	data, _ := json.Marshal(ev)
+	j.broadcast(sseEvent{name: "cell", data: data})
+	j.mu.Unlock()
+}
+
+// Submit validates req, coalesces it against in-flight jobs, and
+// schedules a new job if none matched. The bool reports whether the
+// request coalesced onto an existing job.
+func (s *Server) Submit(req JobRequest) (*Job, bool, error) {
+	p, err := s.plan(req)
+	if err != nil {
+		return nil, false, err
+	}
+	if s.draining.Load() {
+		return nil, false, errDraining
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s.mu.Lock()
+	if j := s.inflight[p.key]; j != nil {
+		j.mu.Lock()
+		j.coalesced++
+		j.mu.Unlock()
+		s.coalescedN.Add(1)
+		s.mu.Unlock()
+		cancel()
+		return j, true, nil
+	}
+	s.seq++
+	j := &Job{
+		ID:          fmt.Sprintf("j%d", s.seq),
+		Kind:        p.kind,
+		Name:        p.name,
+		Key:         p.key,
+		state:       JobQueued,
+		contentType: p.contentType,
+		created:     time.Now(),
+		pending:     make(map[string]bool, len(p.cells)),
+		cellsTotal:  len(p.cells),
+		done:        make(chan struct{}),
+		cancel:      cancel,
+	}
+	if p.total > 0 {
+		j.cellsTotal = p.total
+	}
+	for _, c := range p.cells {
+		k := harness.CellKey(c)
+		j.pending[k] = true
+		w := s.byCell[k]
+		if w == nil {
+			w = map[*Job]bool{}
+			s.byCell[k] = w
+		}
+		w[j] = true
+	}
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j.ID)
+	s.inflight[p.key] = j
+	s.evictLocked()
+	s.mu.Unlock()
+	s.jobsInflight.Add(1)
+	s.builds.Add(1)
+	go s.runJob(ctx, j, p)
+	return j, false, nil
+}
+
+var errDraining = errors.New("server is draining")
+
+// evictLocked trims the oldest terminal jobs past the KeepJobs bound;
+// callers hold s.mu.
+func (s *Server) evictLocked() {
+	excess := len(s.order) - s.o.KeepJobs
+	if excess <= 0 {
+		return
+	}
+	kept := s.order[:0]
+	for _, id := range s.order {
+		j := s.jobs[id]
+		if excess > 0 && j != nil && j.terminal() {
+			delete(s.jobs, id)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+// terminal reports whether the job has reached a final state.
+func (j *Job) terminal() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.state {
+	case JobDone, JobFailed, JobCanceled:
+		return true
+	}
+	return false
+}
+
+// runJob drives one job: pool admission, per-job deadline, build, and
+// idempotent finalization. The build goroutine is never killed — on
+// cancel or deadline it is abandoned (its cells keep warming the shared
+// cache) and runJob waits for it so drain has a precise meaning.
+func (s *Server) runJob(ctx context.Context, j *Job, p *jobPlan) {
+	defer s.builds.Done()
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		s.finalize(j, p, JobCanceled, nil, "canceled while queued")
+		return
+	}
+	defer func() { <-s.sem }()
+	if s.o.JobTimeout > 0 {
+		var tcancel context.CancelFunc
+		ctx, tcancel = context.WithTimeout(ctx, s.o.JobTimeout)
+		defer tcancel()
+	}
+	j.mu.Lock()
+	j.state = JobRunning
+	j.started = time.Now()
+	j.broadcast(j.stateEventLocked())
+	j.mu.Unlock()
+
+	innerDone := make(chan struct{})
+	var out []byte
+	var err error
+	go func() {
+		defer func() {
+			if v := recover(); v != nil {
+				err = fmt.Errorf("job panicked: %v", v)
+			}
+			close(innerDone)
+		}()
+		run := func() error {
+			out, err = p.run(ctx, j)
+			return err
+		}
+		if p.timed != "" {
+			s.rec.Time(p.timed, run)
+		} else {
+			run()
+		}
+	}()
+	select {
+	case <-innerDone:
+		switch {
+		case err == nil:
+			s.finalize(j, p, JobDone, out, "")
+		case errors.Is(err, context.Canceled):
+			s.finalize(j, p, JobCanceled, nil, "canceled")
+		case errors.Is(err, context.DeadlineExceeded):
+			s.finalize(j, p, JobFailed, nil, fmt.Sprintf("job deadline exceeded (%v)", s.o.JobTimeout))
+		default:
+			s.finalize(j, p, JobFailed, out, err.Error())
+		}
+	case <-ctx.Done():
+		if errors.Is(context.Cause(ctx), context.DeadlineExceeded) {
+			s.finalize(j, p, JobFailed, nil, fmt.Sprintf("job deadline exceeded (%v)", s.o.JobTimeout))
+		} else {
+			s.finalize(j, p, JobCanceled, nil, "canceled")
+		}
+		// Wait out the abandoned build so the pool slot stays accounted
+		// and drain means "no build running anywhere".
+		<-innerDone
+	}
+}
+
+// finalize commits the job's terminal state exactly once: the first
+// transition wins, later calls are no-ops.
+func (s *Server) finalize(j *Job, p *jobPlan, state string, out []byte, errMsg string) {
+	deg := s.degradedFor(p)
+	s.mu.Lock()
+	if s.inflight[j.Key] == j {
+		delete(s.inflight, j.Key)
+	}
+	j.mu.Lock()
+	pending := j.pending
+	j.mu.Unlock()
+	for k := range pending {
+		if w := s.byCell[k]; w != nil {
+			delete(w, j)
+			if len(w) == 0 {
+				delete(s.byCell, k)
+			}
+		}
+	}
+	s.mu.Unlock()
+
+	j.mu.Lock()
+	if j.state == JobDone || j.state == JobFailed || j.state == JobCanceled {
+		j.mu.Unlock()
+		return
+	}
+	j.state = state
+	if out != nil {
+		j.output = out
+	}
+	j.errMsg = errMsg
+	j.degraded = deg
+	j.finished = time.Now()
+	if j.started.IsZero() {
+		j.started = j.finished
+	}
+	j.mu.Unlock()
+
+	s.mu.Lock()
+	s.jobsCompleted[[2]string{j.Kind, state}]++
+	s.mu.Unlock()
+	s.jobsInflight.Add(-1)
+
+	v := j.view()
+	data, _ := json.Marshal(v)
+	j.mu.Lock()
+	j.broadcast(sseEvent{name: state, data: data})
+	j.mu.Unlock()
+	close(j.done)
+	if state == JobFailed {
+		s.warnf("tusd: job %s (%s) failed: %s", j.ID, j.Name, errMsg)
+	}
+	if len(deg) > 0 {
+		s.warnf("tusd: job %s (%s) degraded: %d cell(s) quarantined", j.ID, j.Name, len(deg))
+	}
+}
+
+// degradedFor filters the runner's accumulated quarantine degradations
+// down to the tags this job's builders record under.
+func (s *Server) degradedFor(p *jobPlan) []harness.DegradedCell {
+	if p == nil || len(p.degradeTags) == 0 {
+		return nil
+	}
+	tag := map[string]bool{}
+	for _, t := range p.degradeTags {
+		tag[t] = true
+	}
+	var out []harness.DegradedCell
+	for _, d := range s.r.DegradedCells() {
+		if tag[d.Figure] {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Cancel requests cancellation of a job; terminal jobs are unaffected.
+func (s *Server) Cancel(id string) (*Job, bool) {
+	s.mu.Lock()
+	j := s.jobs[id]
+	s.mu.Unlock()
+	if j == nil {
+		return nil, false
+	}
+	j.mu.Lock()
+	cancel := j.cancel
+	j.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	return j, true
+}
+
+// Job looks a job up by ID.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Jobs returns every registered job in creation order.
+func (s *Server) Jobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		if j := s.jobs[id]; j != nil {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// StartDrain flips the server into draining mode: /healthz reports 503
+// and new job submissions are refused. In-flight jobs keep running.
+func (s *Server) StartDrain() { s.draining.Store(true) }
+
+// Draining reports whether a drain has started.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// WaitIdle blocks until every job build (including abandoned ones) has
+// finished, or ctx expires.
+func (s *Server) WaitIdle(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		s.builds.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("server: drain timed out: %w", ctx.Err())
+	}
+}
+
+// BenchReport assembles the perf trajectory record for the server's
+// lifetime (figure timings, cell accounting, cache split) — the same
+// BENCH_harness.json shape tusbench emits.
+func (s *Server) BenchReport() harness.BenchReport {
+	return s.rec.Report()
+}
+
+// Handler returns the HTTP API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/figures", s.handleFigures)
+	s.mux.HandleFunc("GET /v1/figures/{fig}", s.handleFigure)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleJobs)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/output", s.handleJobOutput)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	s.mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleJobCancel)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	s.mux.HandleFunc("GET /v1/bench", s.handleBench)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("X-Tusd-Version", harness.Version)
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleFigures(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, harness.List())
+}
+
+// handleFigure is the synchronous convenience endpoint: it submits (or
+// coalesces onto) a figure job, waits for it, and serves the exact
+// bytes `tusbench -fig <n>` prints. Job accounting rides in X-Tusd-*
+// headers so the body stays byte-identical to the CLI.
+func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
+	fig, err := strconv.Atoi(r.PathValue("fig"))
+	if err != nil {
+		http.Error(w, "bad figure number", http.StatusBadRequest)
+		return
+	}
+	j, coalesced, err := s.Submit(JobRequest{Kind: "figure", Fig: fig})
+	if err != nil {
+		writeSubmitError(w, err)
+		return
+	}
+	select {
+	case <-j.done:
+	case <-r.Context().Done():
+		// Client went away; the job keeps running (other clients may be
+		// attached, and its cells warm the shared cache either way).
+		return
+	}
+	v := j.view()
+	w.Header().Set("X-Tusd-Job", v.ID)
+	w.Header().Set("X-Tusd-Coalesced", strconv.FormatBool(coalesced))
+	w.Header().Set("X-Tusd-Cells-Total", strconv.Itoa(v.CellsTotal))
+	w.Header().Set("X-Tusd-Cells-Run", strconv.Itoa(v.CellsRun))
+	w.Header().Set("X-Tusd-Cells-Cached", strconv.Itoa(v.CellsCached))
+	w.Header().Set("X-Tusd-Degraded", strconv.Itoa(len(v.Degraded)))
+	switch v.State {
+	case JobDone:
+		data, ct, _ := j.Output()
+		w.Header().Set("Content-Type", ct)
+		w.Write(data)
+	case JobCanceled:
+		http.Error(w, "job canceled", http.StatusConflict)
+	default:
+		http.Error(w, "figure job failed: "+v.Error, http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad job request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	j, coalesced, err := s.Submit(req)
+	if err != nil {
+		writeSubmitError(w, err)
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+j.ID)
+	w.Header().Set("X-Tusd-Coalesced", strconv.FormatBool(coalesced))
+	status := http.StatusAccepted
+	if coalesced {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, j.view())
+}
+
+func writeSubmitError(w http.ResponseWriter, err error) {
+	if errors.Is(err, errDraining) {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	http.Error(w, err.Error(), http.StatusBadRequest)
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	jobs := s.Jobs()
+	out := make([]JobJSON, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, j.view())
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		http.Error(w, "no such job", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, http.StatusOK, j.view())
+}
+
+func (s *Server) handleJobOutput(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		http.Error(w, "no such job", http.StatusNotFound)
+		return
+	}
+	data, ct, state := j.Output()
+	switch state {
+	case JobDone, JobFailed:
+		if data == nil {
+			http.Error(w, "job produced no output: "+j.view().Error, http.StatusConflict)
+			return
+		}
+		w.Header().Set("Content-Type", ct)
+		w.Write(data)
+	case JobCanceled:
+		http.Error(w, "job canceled", http.StatusConflict)
+	default:
+		http.Error(w, "job not finished", http.StatusConflict)
+	}
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Cancel(r.PathValue("id"))
+	if !ok {
+		http.Error(w, "no such job", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, http.StatusOK, j.view())
+}
+
+func (s *Server) handleBench(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.BenchReport())
+}
+
+// handleJobEvents streams the job's progress as server-sent events:
+// an initial `state` snapshot, `cell` events as the matrix completes,
+// and a terminal `done`/`failed`/`canceled` event carrying the full
+// job JSON, after which the stream closes.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		http.Error(w, "no such job", http.StatusNotFound)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusNotImplemented)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	ch, snap := j.subscribe()
+	defer j.unsubscribe(ch)
+	writeSSE(w, snap)
+	fl.Flush()
+	ping := time.NewTicker(15 * time.Second)
+	defer ping.Stop()
+	for {
+		select {
+		case ev := <-ch:
+			writeSSE(w, ev)
+			fl.Flush()
+			if ev.name == JobDone || ev.name == JobFailed || ev.name == JobCanceled {
+				return
+			}
+		case <-j.done:
+			// Drain any queued events, then re-send the terminal
+			// snapshot so even a slow subscriber ends with it.
+			for {
+				select {
+				case ev := <-ch:
+					writeSSE(w, ev)
+				default:
+					v := j.view()
+					data, _ := json.Marshal(v)
+					writeSSE(w, sseEvent{name: v.State, data: data})
+					fl.Flush()
+					return
+				}
+			}
+		case <-ping.C:
+			fmt.Fprint(w, ": ping\n\n")
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func writeSSE(w http.ResponseWriter, ev sseEvent) {
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.name, ev.data)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

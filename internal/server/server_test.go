@@ -1,0 +1,482 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"tusim/internal/harness"
+)
+
+// testOps is deliberately tiny: server tests exercise scheduling,
+// coalescing, and byte identity, not simulation fidelity (the harness
+// golden suite owns that).
+const (
+	testOps  = 2500
+	testPOps = 300
+)
+
+func testRunner(t *testing.T, cacheDir string) *harness.Runner {
+	t.Helper()
+	r := harness.NewQuickRunner()
+	r.Ops = testOps
+	r.ParallelOps = testPOps
+	r.Workers = 2
+	if cacheDir != "" {
+		c, err := harness.NewDiskCache(cacheDir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Cache = c
+	}
+	r.Supervisor = harness.NewSupervisor(0)
+	return r
+}
+
+func newTestServer(t *testing.T, o Options) (*Server, *harness.Runner) {
+	t.Helper()
+	if o.Runner == nil {
+		o.Runner = testRunner(t, t.TempDir())
+	}
+	s := New(o)
+	return s, o.Runner
+}
+
+func waitJob(t *testing.T, j *Job, timeout time.Duration) JobJSON {
+	t.Helper()
+	select {
+	case <-j.done:
+	case <-time.After(timeout):
+		t.Fatalf("job %s did not finish in %v (state %s)", j.ID, timeout, j.view().State)
+	}
+	return j.view()
+}
+
+// TestFigureByteIdentity is the tentpole guarantee: GET /v1/figures/9
+// serves exactly the bytes `tusbench -fig 9` prints — cold (every cell
+// simulated), under 8-way concurrent fan-in (matrix executed exactly
+// once), and warm (cells_run == 0).
+func TestFigureByteIdentity(t *testing.T) {
+	// CLI reference: an independent runner at the same scale, no cache,
+	// rendering through the exact code path tusbench's figure loop uses.
+	var want bytes.Buffer
+	if err := harness.RenderFigure(testRunner(t, ""), 9, &want); err != nil {
+		t.Fatal(err)
+	}
+
+	s, r := newTestServer(t, Options{MaxJobs: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Cold: 8 concurrent requests for the same uncached figure.
+	type reply struct {
+		body []byte
+		hdr  http.Header
+		code int
+	}
+	replies := make([]reply, 8)
+	var wg sync.WaitGroup
+	for i := range replies {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Get(ts.URL + "/v1/figures/9")
+			if err != nil {
+				t.Errorf("req %d: %v", i, err)
+				return
+			}
+			defer resp.Body.Close()
+			body, _ := io.ReadAll(resp.Body)
+			replies[i] = reply{body, resp.Header, resp.StatusCode}
+		}(i)
+	}
+	wg.Wait()
+
+	nCells := len(harness.FigureCells(9))
+	for i, rp := range replies {
+		if rp.code != http.StatusOK {
+			t.Fatalf("req %d: status %d, body %s", i, rp.code, rp.body)
+		}
+		if !bytes.Equal(rp.body, want.Bytes()) {
+			t.Fatalf("req %d: served figure differs from CLI bytes:\nserver:\n%s\nCLI:\n%s", i, rp.body, want.Bytes())
+		}
+	}
+	// The matrix ran exactly once no matter how the 8 requests raced:
+	// every fresh simulation is accounted in CacheStats.
+	if cs := r.CacheStats(); cs.CellsRun != int64(nCells) {
+		t.Fatalf("cold 8-way fan-in: cells_run = %d, want exactly %d", cs.CellsRun, nCells)
+	}
+	// Every request either created the one job or coalesced onto it.
+	if jobs, co := len(s.Jobs()), int(s.coalescedN.Load()); jobs+co != 8 {
+		t.Fatalf("jobs(%d) + coalesced(%d) != 8 requests", jobs, co)
+	}
+
+	// Warm: same bytes, zero cells simulated.
+	resp, err := http.Get(ts.URL + "/v1/figures/9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if !bytes.Equal(body, want.Bytes()) {
+		t.Fatalf("warm fetch differs from CLI bytes")
+	}
+	if got := resp.Header.Get("X-Tusd-Cells-Run"); got != "0" {
+		t.Fatalf("warm fetch X-Tusd-Cells-Run = %q, want 0", got)
+	}
+	if cs := r.CacheStats(); cs.CellsRun != int64(nCells) {
+		t.Fatalf("warm fetch resimulated: cells_run = %d, want %d", cs.CellsRun, nCells)
+	}
+}
+
+// TestSubmitCoalescesIdenticalRequests pins the singleflight contract
+// at the Submit level, where ordering is deterministic: the first
+// request creates the job, the next seven attach to it.
+func TestSubmitCoalescesIdenticalRequests(t *testing.T) {
+	s, r := newTestServer(t, Options{MaxJobs: 2})
+	req := JobRequest{Kind: "cells", Benches: []string{"502.gcc1", "502.gcc2"}, Mechs: []string{"base", "TUS"}}
+
+	first, co, err := s.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if co {
+		t.Fatal("first submit reported coalesced")
+	}
+	for i := 0; i < 7; i++ {
+		j, co, err := s.Submit(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !co || j != first {
+			t.Fatalf("submit %d: coalesced=%v job=%s, want attach to %s", i, co, j.ID, first.ID)
+		}
+	}
+	v := waitJob(t, first, 2*time.Minute)
+	if v.State != JobDone {
+		t.Fatalf("job state %s (%s), want done", v.State, v.Error)
+	}
+	if v.Coalesced != 7 {
+		t.Fatalf("job coalesced = %d, want 7", v.Coalesced)
+	}
+	if s.coalescedN.Load() != 7 {
+		t.Fatalf("server coalesce counter = %d, want 7", s.coalescedN.Load())
+	}
+	if cs := r.CacheStats(); cs.CellsRun != 4 {
+		t.Fatalf("cells_run = %d, want 4 (2 benches x 2 mechs, exactly once)", cs.CellsRun)
+	}
+	if v.CellsDone != 4 || v.CellsRun != 4 || v.CellsTotal != 4 {
+		t.Fatalf("job progress done=%d run=%d total=%d, want 4/4/4", v.CellsDone, v.CellsRun, v.CellsTotal)
+	}
+
+	// A different request must not coalesce.
+	other, co, err := s.Submit(JobRequest{Kind: "cells", Benches: []string{"505.mcf"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if co || other == first {
+		t.Fatal("distinct request coalesced onto the wrong job")
+	}
+	waitJob(t, other, 2*time.Minute)
+
+	// The cells output itself is deterministic JSON.
+	data, ct, _ := first.Output()
+	if ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+	var rows []cellRow
+	if err := json.Unmarshal(data, &rows); err != nil {
+		t.Fatalf("output not JSON: %v", err)
+	}
+	if len(rows) != 4 || rows[0].Cycles == 0 {
+		t.Fatalf("unexpected rows: %+v", rows)
+	}
+}
+
+// TestCancel covers both cancellation shapes: a queued job dies
+// immediately, and a running job is abandoned the moment its context
+// is canceled while its terminal state stays canceled even after the
+// abandoned build completes.
+func TestCancel(t *testing.T) {
+	s, _ := newTestServer(t, Options{MaxJobs: 1})
+
+	// Occupy the single pool slot.
+	blocker, _, err := s.Submit(JobRequest{Kind: "cells", Benches: []string{"502.gcc1", "502.gcc2", "502.gcc3"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// This one queues behind it; cancel must not wait for the slot.
+	queued, _, err := s.Submit(JobRequest{Kind: "cells", Benches: []string{"505.mcf"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Cancel(queued.ID); !ok {
+		t.Fatal("cancel: job not found")
+	}
+	v := waitJob(t, queued, 30*time.Second)
+	if v.State != JobCanceled {
+		t.Fatalf("queued job state %s, want canceled", v.State)
+	}
+	if v := waitJob(t, blocker, 2*time.Minute); v.State != JobDone {
+		t.Fatalf("blocker state %s (%s), want done", v.State, v.Error)
+	}
+
+	// Cancel mid-run: the litmus job checks its context between cells.
+	lit, _, err := s.Submit(JobRequest{Kind: "litmus"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Cancel(lit.ID); !ok {
+		t.Fatal("cancel: litmus job not found")
+	}
+	v = waitJob(t, lit, 2*time.Minute)
+	if v.State != JobCanceled {
+		t.Fatalf("litmus job state %s, want canceled", v.State)
+	}
+	if _, ok := s.Cancel("j999"); ok {
+		t.Fatal("cancel of unknown job reported ok")
+	}
+	// Drain still completes: abandoned builds are waited out.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	if err := s.WaitIdle(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDrainUnderLoad: draining refuses new work, flips /healthz to 503,
+// and WaitIdle returns only after in-flight jobs finish.
+func TestDrainUnderLoad(t *testing.T) {
+	s, _ := newTestServer(t, Options{MaxJobs: 1})
+	j, _, err := s.Submit(JobRequest{Kind: "cells", Benches: []string{"502.gcc4"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.StartDrain()
+
+	if _, _, err := s.Submit(JobRequest{Kind: "cells", Benches: []string{"505.mcf"}}); !errors.Is(err, errDraining) {
+		t.Fatalf("submit during drain: err = %v, want errDraining", err)
+	}
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("healthz during drain = %d, want 503", rec.Code)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	if err := s.WaitIdle(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if v := j.view(); v.State != JobDone {
+		t.Fatalf("in-flight job after drain: %s (%s), want done", v.State, v.Error)
+	}
+	// An expired wait reports the timeout instead of hanging.
+	expired, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	s2, _ := newTestServer(t, Options{MaxJobs: 1})
+	if _, _, err := s2.Submit(JobRequest{Kind: "cells", Benches: []string{"502.gcc5"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.WaitIdle(expired); err == nil {
+		t.Fatal("WaitIdle with dead context returned nil")
+	}
+	if err := s2.WaitIdle(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSSEProgress streams a cold figure job end to end over real HTTP:
+// the stream opens with a state snapshot, carries per-cell progress
+// events, and closes with the terminal job JSON.
+func TestSSEProgress(t *testing.T) {
+	s, _ := newTestServer(t, Options{MaxJobs: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body, _ := json.Marshal(JobRequest{Kind: "figure", Fig: 9})
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v JobJSON
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+
+	es, err := http.Get(ts.URL + "/v1/jobs/" + v.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer es.Body.Close()
+	if ct := es.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("events content type %q", ct)
+	}
+
+	var events []string
+	var lastData string
+	sc := bufio.NewScanner(es.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "event: ") {
+			events = append(events, strings.TrimPrefix(line, "event: "))
+		}
+		if strings.HasPrefix(line, "data: ") {
+			lastData = strings.TrimPrefix(line, "data: ")
+		}
+	}
+	if len(events) == 0 || events[0] != "state" {
+		t.Fatalf("stream did not open with a state snapshot: %v", events)
+	}
+	if events[len(events)-1] != JobDone {
+		t.Fatalf("stream did not close with done: %v", events)
+	}
+	cellEvents := 0
+	for _, e := range events {
+		if e == "cell" {
+			cellEvents++
+		}
+	}
+	if cellEvents == 0 {
+		t.Fatalf("no per-cell progress events in stream: %v", events)
+	}
+	var final JobJSON
+	if err := json.Unmarshal([]byte(lastData), &final); err != nil {
+		t.Fatalf("terminal event payload: %v", err)
+	}
+	if final.State != JobDone || final.CellsDone != final.CellsTotal || final.CellsTotal != len(harness.FigureCells(9)) {
+		t.Fatalf("terminal payload %+v", final)
+	}
+
+	// The finished job's output endpoint serves the figure bytes.
+	out, err := http.Get(ts.URL + "/v1/jobs/" + v.ID + "/output")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Body.Close()
+	data, _ := io.ReadAll(out.Body)
+	if !bytes.Contains(data, []byte("Figure 9")) {
+		t.Fatalf("job output does not look like figure 9:\n%s", data)
+	}
+}
+
+// TestLitmusJob runs the model-check smoke suite through the job layer.
+func TestLitmusJob(t *testing.T) {
+	s, _ := newTestServer(t, Options{MaxJobs: 1})
+	j, _, err := s.Submit(JobRequest{Kind: "litmus", Progs: []string{"SB", "MP"}, Mechs: []string{"TUS"}, Smoke: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := waitJob(t, j, 2*time.Minute)
+	if v.State != JobDone {
+		t.Fatalf("litmus job %s (%s), want done", v.State, v.Error)
+	}
+	if v.CellsTotal != 2 || v.CellsDone != 2 {
+		t.Fatalf("litmus progress %d/%d, want 2/2", v.CellsDone, v.CellsTotal)
+	}
+	data, _, _ := j.Output()
+	if !bytes.Contains(data, []byte("SB")) || !bytes.Contains(data, []byte("MP")) {
+		t.Fatalf("litmus output missing reports:\n%s", data)
+	}
+}
+
+// TestMetricsAndRegistryEndpoints scrapes /metrics after real activity
+// and spot-checks the HTTP registry and error paths.
+func TestMetricsAndRegistryEndpoints(t *testing.T) {
+	s, _ := newTestServer(t, Options{MaxJobs: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	req := JobRequest{Kind: "cells", Benches: []string{"520.omnetpp"}, Mechs: []string{"base", "TUS"}}
+	j, _, err := s.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, j, 2*time.Minute)
+	if _, co, err := s.Submit(req); err != nil || co {
+		// The job is terminal, so this resubmission starts a fresh
+		// (instant, fully memoized) job rather than coalescing.
+		t.Fatalf("resubmit after terminal: co=%v err=%v", co, err)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	for _, want := range []string{
+		fmt.Sprintf("tusd_info{harness_version=%q} 1", harness.Version),
+		"tusd_jobs_inflight",
+		`tusd_jobs_completed_total{kind="cells",status="done"}`,
+		"tusd_coalesced_total",
+		"tusd_cells_run_total 2",
+		"tusd_cells_cached_total",
+		"tusd_cache_corrupt_total",
+		"tusd_cell_seconds_bucket{le=\"+Inf\"} 2",
+		"tusd_cell_seconds_sum",
+		"tusd_cell_seconds_count 2",
+	} {
+		if !bytes.Contains(body, []byte(want)) {
+			t.Errorf("metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	// Registry: GET /v1/figures serves the same inventory as -list.
+	fresp, err := http.Get(ts.URL + "/v1/figures")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fresp.Body.Close()
+	var list harness.ListReport
+	if err := json.NewDecoder(fresp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if list.HarnessVersion != harness.Version || len(list.Figures) != 8 || len(list.Benches) == 0 {
+		t.Fatalf("inventory %+v", list)
+	}
+
+	// Error paths.
+	for _, tc := range []struct {
+		method, path string
+		status       int
+	}{
+		{"GET", "/v1/figures/99", http.StatusBadRequest},
+		{"GET", "/v1/jobs/nope", http.StatusNotFound},
+		{"POST", "/v1/jobs/nope/cancel", http.StatusNotFound},
+	} {
+		req, _ := http.NewRequest(tc.method, ts.URL+tc.path, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.status {
+			t.Errorf("%s %s = %d, want %d", tc.method, tc.path, resp.StatusCode, tc.status)
+		}
+	}
+	badBody := strings.NewReader(`{"kind":"nope"}`)
+	bresp, err := http.Post(ts.URL+"/v1/jobs", "application/json", badBody)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bresp.Body.Close()
+	if bresp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad kind submit = %d, want 400", bresp.StatusCode)
+	}
+}

@@ -1,0 +1,99 @@
+#!/usr/bin/env bash
+# server_smoke.sh — end-to-end smoke test for the tusd daemon.
+#
+# Builds the real binaries, starts tusd against a cold shared cache,
+# polls /healthz, then proves the service contract through the network:
+#
+#   1. GET /v1/figures/9 (cold) is byte-identical to `tusbench -fig 9`;
+#   2. the same GET warm is byte-identical again and reports
+#      X-Tusd-Cells-Run: 0 (everything served from the shared cache);
+#   3. GET /v1/figures matches `tusbench -list`;
+#   4. /metrics carries every required series;
+#   5. SIGTERM drains gracefully (listener first), exits 0, and writes
+#      the perf trajectory record (BENCH_OUT, kept for CI artifacts).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+dir=$(mktemp -d)
+BENCH_OUT=${BENCH_OUT:-$dir/BENCH_tusd.json}
+tusd_pid=""
+cleanup() {
+    [ -n "$tusd_pid" ] && kill -9 "$tusd_pid" 2>/dev/null || true
+    rm -rf "$dir"
+}
+trap cleanup EXIT
+
+go build -o "$dir/tusbench" ./cmd/tusbench
+go build -o "$dir/tusd" ./cmd/tusd
+
+scale=(-quick -ops 20000 -parallel-ops 500)
+
+# CLI reference bytes, rendered with no cache so both sides are cold.
+"$dir/tusbench" "${scale[@]}" -fig 9 > "$dir/cli_fig9.txt"
+"$dir/tusbench" "${scale[@]}" -list > "$dir/cli_list.json"
+
+"$dir/tusd" "${scale[@]}" -addr 127.0.0.1:0 -cache "$dir/cache" \
+    -bench-out "$BENCH_OUT" 2> "$dir/tusd.err" &
+tusd_pid=$!
+
+# The daemon prints its resolved address ("serving on http://...") once
+# the listener is up; wait for it, then for /healthz.
+base=""
+for _ in $(seq 1 200); do
+    base=$(sed -n 's/.*serving on \(http:\/\/[^ ]*\).*/\1/p' "$dir/tusd.err" | head -1)
+    [ -n "$base" ] && break
+    kill -0 "$tusd_pid" 2>/dev/null || { cat "$dir/tusd.err"; exit 1; }
+    sleep 0.05
+done
+[ -n "$base" ] || { echo "server-smoke: tusd never announced its address"; cat "$dir/tusd.err"; exit 1; }
+for _ in $(seq 1 200); do
+    curl -fsS "$base/healthz" >/dev/null 2>&1 && break
+    sleep 0.05
+done
+curl -fsS "$base/healthz" | grep -qx ok
+echo "server-smoke: tusd healthy at $base"
+
+# Cold fetch: byte-identical to the CLI, every cell freshly simulated.
+curl -fsS -D "$dir/cold.hdr" "$base/v1/figures/9" > "$dir/cold.txt"
+diff "$dir/cli_fig9.txt" "$dir/cold.txt"
+cold_run=$(tr -d '\r' < "$dir/cold.hdr" | awk -F': ' 'tolower($1)=="x-tusd-cells-run"{print $2}')
+[ "$cold_run" -gt 0 ] || { echo "server-smoke: cold fetch ran $cold_run cells, expected > 0"; exit 1; }
+echo "server-smoke: cold figure 9 byte-identical to CLI ($cold_run cells simulated)"
+
+# Warm fetch: byte-identical again, zero cells simulated.
+curl -fsS -D "$dir/warm.hdr" "$base/v1/figures/9" > "$dir/warm.txt"
+diff "$dir/cli_fig9.txt" "$dir/warm.txt"
+warm_run=$(tr -d '\r' < "$dir/warm.hdr" | awk -F': ' 'tolower($1)=="x-tusd-cells-run"{print $2}')
+[ "$warm_run" = "0" ] || { echo "server-smoke: warm fetch reran $warm_run cells, expected 0"; exit 1; }
+echo "server-smoke: warm figure 9 byte-identical, cells_run: 0"
+
+# Inventory: one registry behind both the CLI flag and the endpoint.
+curl -fsS "$base/v1/figures" > "$dir/srv_list.json"
+diff "$dir/cli_list.json" "$dir/srv_list.json"
+echo "server-smoke: /v1/figures matches tusbench -list"
+
+# Metrics: every required series is present.
+curl -fsS "$base/metrics" > "$dir/metrics.txt"
+for series in \
+    'tusd_info{harness_version=' \
+    tusd_jobs_inflight \
+    'tusd_jobs_completed_total{kind="figure",status="done"}' \
+    tusd_coalesced_total \
+    tusd_cells_run_total \
+    tusd_cells_cached_total \
+    tusd_cache_corrupt_total \
+    tusd_cell_seconds_bucket \
+    tusd_cell_seconds_count; do
+    grep -qF "$series" "$dir/metrics.txt" \
+        || { echo "server-smoke: /metrics missing $series"; cat "$dir/metrics.txt"; exit 1; }
+done
+echo "server-smoke: /metrics carries all required series"
+
+# Graceful drain: SIGTERM closes the listener first and exits cleanly.
+kill -TERM "$tusd_pid"
+wait "$tusd_pid"
+tusd_pid=""
+grep -q "drained, bye" "$dir/tusd.err"
+[ -s "$BENCH_OUT" ] || { echo "server-smoke: no bench record at $BENCH_OUT"; exit 1; }
+grep -q '"fig9"' "$BENCH_OUT"
+echo "server-smoke: drained cleanly, perf trajectory at $BENCH_OUT"
