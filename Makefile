@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test short race race-harness check smoke chaos litmus figs figures-par fuzz cover trace-smoke resume-smoke serve server-smoke clean
+.PHONY: all build vet test short race race-harness check smoke chaos litmus figs figures-par fuzz cover trace-smoke resume-smoke serve server-smoke loadtest soak bench-gate clean
 
 all: vet build test
 
@@ -71,11 +71,13 @@ fuzz:
 	$(GO) test ./internal/tso/ -run '^$$' -fuzz FuzzOracleVsChecker -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/workload/ -run '^$$' -fuzz FuzzWorkloadTrace -fuzztime $(FUZZTIME)
 
-# cover: enforce the observability-layer coverage floor (the tracer and
-# histogram code carry the golden/identity guarantees, so they must stay
-# tested).
+# cover: enforce the coverage floor over the layers that carry the
+# repo's behavioural contracts — the tracer and histogram code (golden/
+# identity guarantees), the tusd service layer (coalescing, SSE,
+# exactly-once accounting), and the supervision/journal layer (crash
+# consistency).
 cover:
-	$(GO) test -coverprofile=cover.out ./internal/trace/ ./internal/stats/
+	$(GO) test -coverprofile=cover.out ./internal/trace/ ./internal/stats/ ./internal/server/ ./internal/supervise/
 	$(GO) tool cover -func=cover.out | awk '/^total:/ { sub("%","",$$3); if ($$3+0 < 85) { printf "coverage %.1f%% below 85%% floor\n", $$3; exit 1 } else printf "coverage %.1f%% (floor 85%%)\n", $$3 }'
 
 # trace-smoke: the acceptance path — a smoke workload emitting a
@@ -102,9 +104,31 @@ serve:
 server-smoke:
 	bash scripts/server_smoke.sh
 
+# loadtest: spawn a real tusd binary and drive the deterministic mixed
+# load suite against it — byte-identity, warm-phase cells_run 0,
+# exactly-once cell accounting, /metrics monotonicity — then write the
+# per-endpoint latency report.
+loadtest:
+	$(GO) build -o bin/tusd ./cmd/tusd
+	$(GO) run ./cmd/tusload -tusd bin/tusd -smoke -report tusload_report.json
+
+# soak: SIGKILL the daemon mid-load and prove the serving layer
+# survives: in-flight requests error (never hang), a restart on the
+# same cache dir serves every figure byte-identically, and the fresh
+# process simulates zero cells.
+soak:
+	$(GO) build -o bin/tusd ./cmd/tusd
+	$(GO) run ./cmd/tusload -tusd bin/tusd -soak -ops 2500 -parallel-ops 300 -requests 600 -duration 15s
+
+# bench-gate: the perf-regression ratchet — regenerate the figures with
+# a fresh cache, then fail if any figure (or total wall-clock) got more
+# than 2x slower than the committed BENCH_harness.json baseline.
+bench-gate:
+	bash scripts/bench_gate.sh
+
 # clean: drop run-local state — the content-addressed result cache,
 # stale run journals, and scratch artifacts. Never touches committed
 # records (BENCH_harness.json, golden files).
 clean:
-	rm -rf .tuscache .tusjournal
-	rm -f cover.out trace.json tus-crash.json mc-crash.json
+	rm -rf .tuscache .tusjournal bin
+	rm -f cover.out trace.json tus-crash.json mc-crash.json tusload_report.json

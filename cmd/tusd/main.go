@@ -8,6 +8,7 @@
 //
 //	tusd                         # listen on :8344, cache in .tuscache
 //	tusd -addr 127.0.0.1:9000    # explicit listen address
+//	tusd -addr-file F            # write the resolved host:port to F
 //	tusd -quick                  # CI-sized traces
 //	tusd -max-jobs 4             # up to 4 jobs building at once
 //	tusd -job-timeout 10m        # per-job deadline
@@ -55,6 +56,7 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8344", "listen address")
+	addrFile := flag.String("addr-file", "", "write the resolved listen address (host:port) here once the listener is up — lets harnesses bind :0 and still find the port deterministically")
 	quick := flag.Bool("quick", false, "use small traces (CI-sized)")
 	ops := flag.Int("ops", 0, "override trace length per thread")
 	pops := flag.Int("parallel-ops", 0, "override per-thread trace length for 16-thread runs")
@@ -129,6 +131,16 @@ func main() {
 		fail(err)
 	}
 	httpSrv := &http.Server{Handler: srv.Handler()}
+	if *addrFile != "" {
+		// Temp+rename so a poller never reads a torn address.
+		tmp := *addrFile + ".tmp"
+		if err := os.WriteFile(tmp, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			fail(err)
+		}
+		if err := os.Rename(tmp, *addrFile); err != nil {
+			fail(err)
+		}
+	}
 	fmt.Fprintf(os.Stderr, "tusd: %s serving on http://%s (cache=%s max-jobs=%d)\n",
 		harness.Version, ln.Addr(), cacheOrOff(*cacheDir), *maxJobs)
 

@@ -98,6 +98,27 @@ func FigureCells(fig int) []Cell {
 	return out
 }
 
+// FigureCellUnion returns the distinct union of the given figures'
+// cells, deduped by CellKey in first-appearance order across the
+// figures as listed. Its length is the registry's expected exactly-once
+// cell total for a cold run that regenerates exactly those figures:
+// tusload asserts the daemon's cells_run counter lands on it. Unknown
+// figure numbers contribute nothing.
+func FigureCellUnion(figs ...int) []Cell {
+	seen := map[string]bool{}
+	var out []Cell
+	for _, f := range figs {
+		for _, c := range FigureCells(f) {
+			k := CellKey(c)
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}
+
 // RenderFigure regenerates figure fig through r and writes it to w in
 // the exact byte form `tusbench -fig <n>` prints: the table followed by
 // one blank line. tusd serves these same bytes, which is what makes a

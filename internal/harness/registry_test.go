@@ -102,3 +102,39 @@ func TestRenderFigureUnknown(t *testing.T) {
 		t.Fatalf("RenderFigure(99) err = %v, want unknown-figure error", err)
 	}
 }
+
+// TestFigureCellUnion pins the expected exactly-once totals tusload
+// gates on: figures sharing a matrix (9 and 11 are both the SB-bound
+// set at 114) collapse to one set, disjoint SB sizes add, and unknown
+// figures contribute nothing.
+func TestFigureCellUnion(t *testing.T) {
+	n9 := len(FigureCells(9))
+	if got := len(FigureCellUnion(9)); got != n9 {
+		t.Errorf("union(9) = %d, want %d", got, n9)
+	}
+	// Fig 11 runs the identical matrix: the union must not double count.
+	if got := len(FigureCellUnion(9, 11)); got != n9 {
+		t.Errorf("union(9,11) = %d, want %d (same matrix)", got, n9)
+	}
+	// Fig 15 is the same benches at SB 32: fully disjoint cells.
+	if got := len(FigureCellUnion(9, 15)); got != 2*n9 {
+		t.Errorf("union(9,15) = %d, want %d", got, 2*n9)
+	}
+	if got := len(FigureCellUnion(9, 99)); got != n9 {
+		t.Errorf("union(9,99) = %d, want %d (unknown fig ignored)", got, n9)
+	}
+	// No duplicates survive, and every member resolves back to a figure
+	// cell.
+	union := FigureCellUnion(9, 15, 11)
+	seen := map[string]bool{}
+	for _, c := range union {
+		k := CellKey(c)
+		if seen[k] {
+			t.Errorf("duplicate cell %s in union", k)
+		}
+		seen[k] = true
+	}
+	if len(union) != 2*n9 {
+		t.Errorf("union(9,15,11) = %d, want %d", len(union), 2*n9)
+	}
+}

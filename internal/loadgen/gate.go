@@ -1,0 +1,121 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"tusim/internal/harness"
+)
+
+// GateOpts tunes the perf-regression ratchet. The ratchet is
+// deliberately loose — it exists to catch order-of-magnitude
+// regressions (an accidental cache bypass, a lock on the hot path), not
+// single-digit-percent noise, so the trip wire is a strict >MaxRatio
+// multiple and tiny absolute readings are exempted via floors.
+type GateOpts struct {
+	// MaxRatio is the allowed fresh/baseline multiple; fresh readings
+	// strictly above baseline*MaxRatio fail. 0 means the default 2.0.
+	MaxRatio float64
+	// FloorSeconds exempts figure timings where both sides are under
+	// this many seconds — sub-floor figures are dominated by scheduler
+	// noise, not simulation work. 0 means the default 0.05s.
+	FloorSeconds float64
+	// FloorMicros exempts endpoint p99s where both sides are under this
+	// many microseconds. 0 means the default 1000 (1ms).
+	FloorMicros uint64
+}
+
+func (o GateOpts) withDefaults() GateOpts {
+	if o.MaxRatio == 0 {
+		o.MaxRatio = 2.0
+	}
+	if o.FloorSeconds == 0 {
+		o.FloorSeconds = 0.05
+	}
+	if o.FloorMicros == 0 {
+		o.FloorMicros = 1000
+	}
+	return o
+}
+
+// ReadBench loads a BENCH_harness.json-shaped report.
+func ReadBench(path string) (harness.BenchReport, error) {
+	var rep harness.BenchReport
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("loadgen: %s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// GateBench compares a fresh harness perf record against the committed
+// baseline and returns one message per regression: a figure that got
+// >MaxRatio slower (both sides above the noise floor), a figure the
+// fresh run no longer produced, or total wall-clock blowing the ratio.
+// Fresh runs being FASTER never fails — the ratchet only guards the
+// slow direction; tightening the baseline is a deliberate commit.
+func GateBench(baseline, fresh harness.BenchReport, o GateOpts) []string {
+	o = o.withDefaults()
+	var out []string
+
+	freshFigs := map[string]float64{}
+	for _, f := range fresh.Figures {
+		freshFigs[f.Name] = f.Seconds
+	}
+	for _, b := range baseline.Figures {
+		fs, ok := freshFigs[b.Name]
+		if !ok {
+			out = append(out, fmt.Sprintf("%s: present in baseline but missing from fresh run", b.Name))
+			continue
+		}
+		if b.Seconds < o.FloorSeconds && fs < o.FloorSeconds {
+			continue // both under the noise floor
+		}
+		if fs > b.Seconds*o.MaxRatio {
+			out = append(out, fmt.Sprintf("%s: %.3fs vs baseline %.3fs (%.1fx > %.1fx allowed)",
+				b.Name, fs, b.Seconds, fs/b.Seconds, o.MaxRatio))
+		}
+	}
+	if baseline.WallSeconds >= o.FloorSeconds || fresh.WallSeconds >= o.FloorSeconds {
+		if fresh.WallSeconds > baseline.WallSeconds*o.MaxRatio {
+			out = append(out, fmt.Sprintf("wall_seconds: %.3fs vs baseline %.3fs (%.1fx > %.1fx allowed)",
+				fresh.WallSeconds, baseline.WallSeconds, fresh.WallSeconds/baseline.WallSeconds, o.MaxRatio))
+		}
+	}
+	return out
+}
+
+// GateLatency compares a fresh tusload latency report against a
+// baseline, per endpoint, on p99. Quantiles are power-of-two bucket
+// upper bounds, so with MaxRatio 2.0 a single bucket shift (exactly 2x)
+// still passes — the strict > — and two shifts (4x) fail. Endpoints
+// absent from either side are skipped: mixes differ across runs and the
+// gate only judges endpoints both runs exercised.
+func GateLatency(baseline, fresh Report, o GateOpts) []string {
+	o = o.withDefaults()
+	var out []string
+
+	freshEps := map[string]EndpointStats{}
+	for _, e := range fresh.Endpoints {
+		freshEps[e.Endpoint] = e
+	}
+	for _, b := range baseline.Endpoints {
+		f, ok := freshEps[b.Endpoint]
+		if !ok || b.LatencyUS.Count == 0 || f.LatencyUS.Count == 0 {
+			continue
+		}
+		bp, fp := b.LatencyUS.P99, f.LatencyUS.P99
+		if bp < o.FloorMicros && fp < o.FloorMicros {
+			continue
+		}
+		if float64(fp) > float64(bp)*o.MaxRatio {
+			out = append(out, fmt.Sprintf("%s p99: %s vs baseline %s (%.1fx > %.1fx allowed)",
+				b.Endpoint, us(fp), us(bp), float64(fp)/float64(bp), o.MaxRatio))
+		}
+	}
+	return out
+}

@@ -1,0 +1,357 @@
+package loadgen_test
+
+import (
+	"context"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"tusim/internal/harness"
+	"tusim/internal/loadgen"
+	"tusim/internal/server"
+	"tusim/internal/stats"
+)
+
+// testOps matches the server test scale: tiny traces, because these
+// tests exercise load-generation and invariant plumbing, not simulation
+// fidelity.
+const (
+	testOps  = 2500
+	testPOps = 300
+)
+
+func testRunner(t *testing.T, cacheDir string) *harness.Runner {
+	t.Helper()
+	r := harness.NewQuickRunner()
+	r.Ops = testOps
+	r.ParallelOps = testPOps
+	r.Workers = 2
+	if cacheDir != "" {
+		c, err := harness.NewDiskCache(cacheDir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Cache = c
+	}
+	r.Supervisor = harness.NewSupervisor(0)
+	return r
+}
+
+// startDaemon serves a real server.Server over httptest and returns its
+// base URL plus the matching byte-identity references.
+func startDaemon(t *testing.T, cacheDir string) (string, map[int][]byte) {
+	t.Helper()
+	s := server.New(server.Options{Runner: testRunner(t, cacheDir), MaxJobs: 4})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	refs, err := loadgen.RenderReferences(testRunner(t, ""), []int{9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ts.URL, refs
+}
+
+// TestClosedLoopRun is the acceptance scenario: a closed-loop run at
+// concurrency 8 over the full default mix against a live daemon, ending
+// with zero invariant violations and the exactly-once cell total.
+func TestClosedLoopRun(t *testing.T) {
+	base, refs := startDaemon(t, t.TempDir())
+	l, err := loadgen.New(loadgen.Options{
+		BaseURL:      base,
+		Seed:         42,
+		Concurrency:  8,
+		Requests:     40,
+		Figs:         []int{9},
+		References:   refs,
+		MetricsEvery: 50 * time.Millisecond,
+		JobDeadline:  time.Minute,
+		Warnf:        t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Run(context.Background()); err != nil {
+		t.Fatalf("run: %v\nall violations: %v", err, l.Violations())
+	}
+
+	rep := l.Report()
+	if rep.Requests < 40 {
+		t.Fatalf("report counts %d requests, want >= 40", rep.Requests)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("report counts %d errors, want 0", rep.Errors)
+	}
+	if len(rep.Violations) != 0 {
+		t.Fatalf("violations: %v", rep.Violations)
+	}
+	if rep.ExpectedCells != len(harness.FigureCellUnion(9)) {
+		t.Fatalf("expected cells %d, want %d", rep.ExpectedCells, len(harness.FigureCellUnion(9)))
+	}
+	if rep.MetricsScrapes == 0 {
+		t.Fatal("metrics watcher never scraped")
+	}
+	if len(rep.Endpoints) == 0 {
+		t.Fatal("no endpoint stats recorded")
+	}
+	var sawColdFigure bool
+	for _, e := range rep.Endpoints {
+		if e.Endpoint == "figure-cold" && e.LatencyUS.Count > 0 {
+			sawColdFigure = true
+		}
+	}
+	if !sawColdFigure {
+		t.Fatalf("no figure-cold endpoint in %+v", rep.Endpoints)
+	}
+
+	// The report must round-trip through disk for the gate.
+	path := filepath.Join(t.TempDir(), "report.json")
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := loadgen.ReadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Requests != rep.Requests || len(back.Endpoints) != len(rep.Endpoints) {
+		t.Fatalf("report round-trip mismatch: %+v vs %+v", back, rep)
+	}
+}
+
+// TestOpenLoop drives a short fixed-rate phase: ops launch on schedule
+// and the run still ends violation-free.
+func TestOpenLoop(t *testing.T) {
+	base, refs := startDaemon(t, t.TempDir())
+	l, err := loadgen.New(loadgen.Options{
+		BaseURL:      base,
+		Seed:         7,
+		Rate:         50,
+		Requests:     16,
+		Figs:         []int{9},
+		Mix:          loadgen.Mix{Figure: 3, Storm: 1},
+		References:   refs,
+		MetricsEvery: 50 * time.Millisecond,
+		JobDeadline:  time.Minute,
+		Warnf:        t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Run(context.Background()); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if rep := l.Report(); rep.Mode != "open" || rep.Errors != 0 {
+		t.Fatalf("mode %s errors %d, want open/0", rep.Mode, rep.Errors)
+	}
+}
+
+// TestCorruptReferenceDetected proves the byte-identity oracle has
+// teeth: a loader armed with wrong reference bytes must flag every
+// figure response as a violation.
+func TestCorruptReferenceDetected(t *testing.T) {
+	base, _ := startDaemon(t, t.TempDir())
+	l, err := loadgen.New(loadgen.Options{
+		BaseURL:    base,
+		Figs:       []int{9},
+		References: map[int][]byte{9: []byte("not the figure\n")},
+		Warnf:      t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = l.ColdSweep(context.Background())
+	if err == nil {
+		t.Fatal("cold sweep accepted a response that differs from the reference")
+	}
+	if !strings.Contains(err.Error(), "differs from canonical") {
+		t.Fatalf("unexpected violation: %v", err)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	refs := map[int][]byte{9: []byte("x")}
+	if _, err := loadgen.New(loadgen.Options{}); err == nil {
+		t.Fatal("New accepted empty BaseURL")
+	}
+	if _, err := loadgen.New(loadgen.Options{BaseURL: "http://x", Figs: []int{9}}); err == nil {
+		t.Fatal("New accepted missing references")
+	}
+	if _, err := loadgen.New(loadgen.Options{
+		BaseURL: "http://x", Figs: []int{15},
+		References: map[int][]byte{15: []byte("x")},
+		Mix:        loadgen.Mix{Cells: 1},
+	}); err == nil {
+		t.Fatal("New accepted cells ops without figure 9 in the sweep")
+	}
+	l, err := loadgen.New(loadgen.Options{BaseURL: "http://x/", Figs: []int{9}, References: refs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Base() != "http://x" {
+		t.Fatalf("base %q, want trailing slash trimmed", l.Base())
+	}
+	if got := l.Report().ExpectedCells; got != len(harness.FigureCellUnion(9)) {
+		t.Fatalf("default ExpectedCells %d", got)
+	}
+}
+
+func TestParseProm(t *testing.T) {
+	text := `# HELP tusd_jobs_inflight gauge
+# TYPE tusd_jobs_inflight gauge
+tusd_jobs_inflight 2
+tusd_cells_run_total 55
+tusd_jobs_completed_total{kind="figure",status="done"} 3
+tusd_job_seconds_sum{kind="figure"} 1.25
+
+`
+	m, err := loadgen.ParseProm(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"tusd_jobs_inflight":   2,
+		"tusd_cells_run_total": 55,
+		`tusd_jobs_completed_total{kind="figure",status="done"}`: 3,
+		`tusd_job_seconds_sum{kind="figure"}`:                    1.25,
+	}
+	if len(m) != len(want) {
+		t.Fatalf("parsed %d series, want %d: %v", len(m), len(want), m)
+	}
+	for k, v := range want {
+		if m[k] != v {
+			t.Fatalf("%s = %v, want %v", k, m[k], v)
+		}
+	}
+	if _, err := loadgen.ParseProm("tusd_bogus_line"); err == nil {
+		t.Fatal("ParseProm accepted a line with no value")
+	}
+	if _, err := loadgen.ParseProm("tusd_x not-a-number"); err == nil {
+		t.Fatal("ParseProm accepted a non-numeric value")
+	}
+}
+
+func TestMonotonicViolations(t *testing.T) {
+	prev := map[string]float64{
+		"tusd_cells_run_total":            55,
+		"tusd_jobs_inflight":              4,
+		`tusd_job_seconds_bucket{le="1"}`: 7,
+		"tusd_vanishes_total":             1,
+	}
+	cur := map[string]float64{
+		"tusd_cells_run_total":            54, // backwards: violation
+		"tusd_jobs_inflight":              0,  // gauge may fall freely
+		`tusd_job_seconds_bucket{le="1"}`: 9,  // grew: fine
+		"tusd_new_total":                  1,  // new series: fine
+	}
+	v := loadgen.MonotonicViolations(prev, cur)
+	if len(v) != 2 {
+		t.Fatalf("got %d violations, want 2 (backwards + vanished): %v", len(v), v)
+	}
+	joined := strings.Join(v, "\n")
+	if !strings.Contains(joined, "went backwards") || !strings.Contains(joined, "vanished") {
+		t.Fatalf("violations: %v", v)
+	}
+	if v := loadgen.MonotonicViolations(cur, cur); len(v) != 0 {
+		t.Fatalf("identical scrapes produced violations: %v", v)
+	}
+}
+
+func benchRecord(fig8, wall float64) harness.BenchReport {
+	return harness.BenchReport{
+		HarnessVersion: harness.Version,
+		Figures: []harness.FigTiming{
+			{Name: "fig8", Seconds: fig8},
+			{Name: "fig9", Seconds: 0.0003},
+		},
+		WallSeconds: wall,
+	}
+}
+
+// TestGateBench pins the ratchet semantics, including the acceptance
+// negative test: a synthetic 3x-slower record must fail the gate.
+func TestGateBench(t *testing.T) {
+	baseline := benchRecord(10.0, 13.0)
+
+	if v := loadgen.GateBench(baseline, baseline, loadgen.GateOpts{}); len(v) != 0 {
+		t.Fatalf("identical records failed the gate: %v", v)
+	}
+	// 1.5x slower: within the 2x budget.
+	if v := loadgen.GateBench(baseline, benchRecord(15.0, 19.5), loadgen.GateOpts{}); len(v) != 0 {
+		t.Fatalf("1.5x failed the gate: %v", v)
+	}
+	// Faster never fails — the ratchet only guards the slow direction.
+	if v := loadgen.GateBench(baseline, benchRecord(3.0, 4.0), loadgen.GateOpts{}); len(v) != 0 {
+		t.Fatalf("faster run failed the gate: %v", v)
+	}
+	// The negative test: 3x slower must trip both the figure and the
+	// wall-clock wire.
+	v := loadgen.GateBench(baseline, benchRecord(30.0, 39.0), loadgen.GateOpts{})
+	if len(v) != 2 {
+		t.Fatalf("3x-slower record produced %d violations, want 2: %v", len(v), v)
+	}
+	if !strings.Contains(v[0], "fig8") || !strings.Contains(v[1], "wall_seconds") {
+		t.Fatalf("violations: %v", v)
+	}
+
+	// Sub-floor figures are noise-exempt: fig9 ballooning from 0.3ms to
+	// 0.9ms (3x!) is scheduler jitter, not a regression.
+	fresh := benchRecord(10.0, 13.0)
+	fresh.Figures[1].Seconds = 0.0009
+	if v := loadgen.GateBench(baseline, fresh, loadgen.GateOpts{}); len(v) != 0 {
+		t.Fatalf("sub-floor jitter failed the gate: %v", v)
+	}
+
+	// A figure vanishing from the fresh run is itself a violation.
+	missing := harness.BenchReport{Figures: []harness.FigTiming{{Name: "fig9", Seconds: 0.0003}}, WallSeconds: 13.0}
+	v = loadgen.GateBench(baseline, missing, loadgen.GateOpts{})
+	if len(v) != 1 || !strings.Contains(v[0], "missing") {
+		t.Fatalf("missing figure: %v", v)
+	}
+
+	// MaxRatio is configurable: at 4.0 the 3x record passes.
+	if v := loadgen.GateBench(baseline, benchRecord(30.0, 39.0), loadgen.GateOpts{MaxRatio: 4.0}); len(v) != 0 {
+		t.Fatalf("3x failed a 4x gate: %v", v)
+	}
+}
+
+func latReport(p99 uint64) loadgen.Report {
+	return loadgen.Report{
+		Endpoints: []loadgen.EndpointStats{
+			{Endpoint: "figure", LatencyUS: stats.QuantSummary{Count: 100, P99: p99}},
+			{Endpoint: "metrics", LatencyUS: stats.QuantSummary{Count: 100, P99: 512}},
+		},
+	}
+}
+
+func TestGateLatency(t *testing.T) {
+	baseline := latReport(4096)
+
+	if v := loadgen.GateLatency(baseline, baseline, loadgen.GateOpts{}); len(v) != 0 {
+		t.Fatalf("identical reports failed: %v", v)
+	}
+	// One power-of-two bucket shift is exactly 2x: the strict > passes it.
+	if v := loadgen.GateLatency(baseline, latReport(8192), loadgen.GateOpts{}); len(v) != 0 {
+		t.Fatalf("single bucket shift failed: %v", v)
+	}
+	// Two bucket shifts (4x) fail.
+	v := loadgen.GateLatency(baseline, latReport(16384), loadgen.GateOpts{})
+	if len(v) != 1 || !strings.Contains(v[0], "figure p99") {
+		t.Fatalf("4x p99: %v", v)
+	}
+	// Both-under-floor endpoints are skipped (metrics stays at 512 <
+	// 1000us in both, so even a big ratio there would be exempt).
+	sub := latReport(4096)
+	sub.Endpoints[1].LatencyUS.P99 = 64
+	fresh := latReport(4096)
+	fresh.Endpoints[1].LatencyUS.P99 = 512
+	if v := loadgen.GateLatency(sub, fresh, loadgen.GateOpts{}); len(v) != 0 {
+		t.Fatalf("sub-floor endpoint failed: %v", v)
+	}
+	// Endpoints absent from the fresh run are skipped, not violations:
+	// mixes differ across runs.
+	if v := loadgen.GateLatency(baseline, loadgen.Report{}, loadgen.GateOpts{}); len(v) != 0 {
+		t.Fatalf("missing endpoints should be skipped: %v", v)
+	}
+}

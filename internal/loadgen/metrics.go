@@ -1,0 +1,84 @@
+package loadgen
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ParseProm parses the Prometheus text exposition format (the subset
+// tusd emits: comments, `name value`, and `name{labels} value` lines)
+// into a flat map keyed by the full series identity — name plus label
+// set — e.g.
+//
+//	tusd_jobs_completed_total{kind="figure",status="done"} -> 3
+//
+// Timestamps are not supported (tusd never emits them); a line that
+// does not split into series + float is an error, because a scrape the
+// monotonicity checker cannot read is itself a finding.
+func ParseProm(text string) (map[string]float64, error) {
+	out := map[string]float64{}
+	for ln, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// The value is everything after the last space outside braces —
+		// label values may themselves contain spaces.
+		i := strings.LastIndexByte(line, ' ')
+		if i <= 0 {
+			return nil, fmt.Errorf("metrics line %d: no value separator: %q", ln+1, line)
+		}
+		series, valStr := strings.TrimSpace(line[:i]), line[i+1:]
+		v, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			return nil, fmt.Errorf("metrics line %d: bad value %q: %v", ln+1, valStr, err)
+		}
+		out[series] = v
+	}
+	return out, nil
+}
+
+// counterSeries reports whether the series is counter-typed by naming
+// convention: Prometheus counters and cumulative-histogram components
+// must never decrease within one process lifetime.
+func counterSeries(series string) bool {
+	name := series
+	if i := strings.IndexByte(series, '{'); i >= 0 {
+		name = series[:i]
+	}
+	for _, suffix := range []string{"_total", "_count", "_sum", "_bucket"} {
+		if strings.HasSuffix(name, suffix) {
+			return true
+		}
+	}
+	return false
+}
+
+// MonotonicViolations diffs two scrapes of the same process and returns
+// one message per counter-typed series that went backwards or vanished.
+// Gauges may move freely; new series appearing is normal (a counter
+// starts existing when first incremented).
+func MonotonicViolations(prev, cur map[string]float64) []string {
+	var out []string
+	keys := make([]string, 0, len(prev))
+	for k := range prev {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if !counterSeries(k) {
+			continue
+		}
+		c, ok := cur[k]
+		if !ok {
+			out = append(out, fmt.Sprintf("counter series %s vanished (was %v)", k, prev[k]))
+			continue
+		}
+		if c < prev[k] {
+			out = append(out, fmt.Sprintf("counter series %s went backwards: %v -> %v", k, prev[k], c))
+		}
+	}
+	return out
+}

@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -296,9 +297,51 @@ func TestDrainUnderLoad(t *testing.T) {
 	}
 }
 
+// sseReader feeds a stream's lines through a channel so every read can
+// carry an explicit deadline: a stalled stream fails the test with a
+// diagnosis (how many events arrived, what came last) instead of
+// blocking a raw Scan until the whole suite times out.
+type sseReader struct {
+	lines chan string
+	errc  chan error
+}
+
+func newSSEReader(body io.Reader) *sseReader {
+	r := &sseReader{lines: make(chan string, 64), errc: make(chan error, 1)}
+	go func() {
+		sc := bufio.NewScanner(body)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		for sc.Scan() {
+			r.lines <- sc.Text()
+		}
+		r.errc <- sc.Err()
+		close(r.lines)
+	}()
+	return r
+}
+
+// next returns the next line within the deadline; ok=false is clean EOF.
+func (r *sseReader) next(t *testing.T, deadline time.Duration, progress func() string) (string, bool) {
+	t.Helper()
+	select {
+	case line, ok := <-r.lines:
+		if !ok {
+			if err := <-r.errc; err != nil {
+				t.Fatalf("sse read (%s): %v", progress(), err)
+			}
+			return "", false
+		}
+		return line, true
+	case <-time.After(deadline):
+		t.Fatalf("sse read: no line within %v (%s) — stalled stream", deadline, progress())
+		return "", false
+	}
+}
+
 // TestSSEProgress streams a cold figure job end to end over real HTTP:
 // the stream opens with a state snapshot, carries per-cell progress
-// events, and closes with the terminal job JSON.
+// events, and closes with the terminal job JSON. Every read carries its
+// own deadline so a wedged stream is diagnosed, not waited out.
 func TestSSEProgress(t *testing.T) {
 	s, _ := newTestServer(t, Options{MaxJobs: 2})
 	ts := httptest.NewServer(s.Handler())
@@ -329,10 +372,19 @@ func TestSSEProgress(t *testing.T) {
 
 	var events []string
 	var lastData string
-	sc := bufio.NewScanner(es.Body)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	for sc.Scan() {
-		line := sc.Text()
+	r := newSSEReader(es.Body)
+	progress := func() string {
+		last := "none"
+		if len(events) > 0 {
+			last = events[len(events)-1]
+		}
+		return fmt.Sprintf("after %d events, last %q", len(events), last)
+	}
+	for {
+		line, ok := r.next(t, 30*time.Second, progress)
+		if !ok {
+			break
+		}
 		if strings.HasPrefix(line, "event: ") {
 			events = append(events, strings.TrimPrefix(line, "event: "))
 		}
@@ -372,6 +424,30 @@ func TestSSEProgress(t *testing.T) {
 	data, _ := io.ReadAll(out.Body)
 	if !bytes.Contains(data, []byte("Figure 9")) {
 		t.Fatalf("job output does not look like figure 9:\n%s", data)
+	}
+
+	// Re-subscribing to the now-terminal job must deliver the state
+	// snapshot plus a terminal resend immediately and close the stream —
+	// a slow or late subscriber always ends on the terminal event.
+	es2, err := http.Get(ts.URL + "/v1/jobs/" + v.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer es2.Body.Close()
+	r2 := newSSEReader(es2.Body)
+	var events2 []string
+	progress2 := func() string { return fmt.Sprintf("replay: %d events", len(events2)) }
+	for {
+		line, ok := r2.next(t, 10*time.Second, progress2)
+		if !ok {
+			break
+		}
+		if strings.HasPrefix(line, "event: ") {
+			events2 = append(events2, strings.TrimPrefix(line, "event: "))
+		}
+	}
+	if len(events2) < 2 || events2[0] != "state" || events2[len(events2)-1] != JobDone {
+		t.Fatalf("terminal-job replay stream: %v, want state ... done", events2)
 	}
 }
 
@@ -478,5 +554,313 @@ func TestMetricsAndRegistryEndpoints(t *testing.T) {
 	bresp.Body.Close()
 	if bresp.StatusCode != http.StatusBadRequest {
 		t.Errorf("bad kind submit = %d, want 400", bresp.StatusCode)
+	}
+}
+
+// TestAPIErrorPaths pins every client-error response: status code AND
+// body shape, so error messages stay part of the API contract.
+func TestAPIErrorPaths(t *testing.T) {
+	s, _ := newTestServer(t, Options{MaxJobs: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	tests := []struct {
+		name         string
+		method, path string
+		body         string
+		status       int
+		wantBody     string
+	}{
+		{"non-numeric figure", "GET", "/v1/figures/abc", "", http.StatusBadRequest, "bad figure number"},
+		{"unknown figure", "GET", "/v1/figures/99", "", http.StatusBadRequest, "unknown figure 99"},
+		{"malformed JSON submit", "POST", "/v1/jobs", `{not json`, http.StatusBadRequest, "bad job request"},
+		{"unknown job kind", "POST", "/v1/jobs", `{"kind":"nope"}`, http.StatusBadRequest, `unknown job kind "nope"`},
+		{"figure job for unknown figure", "POST", "/v1/jobs", `{"kind":"figure","fig":99}`, http.StatusBadRequest, "unknown figure 99"},
+		{"hist with negative sb", "POST", "/v1/jobs", `{"kind":"hist","sb":-5}`, http.StatusBadRequest, "sb must be positive"},
+		{"status of unknown job", "GET", "/v1/jobs/nope", "", http.StatusNotFound, "no such job"},
+		{"output of unknown job", "GET", "/v1/jobs/nope/output", "", http.StatusNotFound, "no such job"},
+		{"events of unknown job", "GET", "/v1/jobs/nope/events", "", http.StatusNotFound, "no such job"},
+		{"cancel of unknown job", "POST", "/v1/jobs/nope/cancel", "", http.StatusNotFound, "no such job"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			var rdr io.Reader
+			if tc.body != "" {
+				rdr = strings.NewReader(tc.body)
+			}
+			req, err := http.NewRequest(tc.method, ts.URL+tc.path, rdr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			body, _ := io.ReadAll(resp.Body)
+			if resp.StatusCode != tc.status {
+				t.Fatalf("%s %s = %d, want %d (body %s)", tc.method, tc.path, resp.StatusCode, tc.status, body)
+			}
+			if !bytes.Contains(body, []byte(tc.wantBody)) {
+				t.Fatalf("%s %s body %q does not contain %q", tc.method, tc.path, body, tc.wantBody)
+			}
+		})
+	}
+
+	// Output of a queued (unfinished) job is 409, not a hang or a 200
+	// with partial bytes. MaxJobs is 1, so a heavy blocker (the full
+	// SB-bound matrix) pins the pool slot long enough that the second
+	// job stays deterministically queued through the checks below.
+	blocker, _, err := s.Submit(JobRequest{Kind: "cells", Benches: []string{
+		"502.gcc1", "502.gcc2", "502.gcc3", "502.gcc4", "502.gcc5",
+		"505.mcf", "520.omnetpp", "557.xz", "tf.matmul", "tf.conv", "tf.embed",
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The queued job uses SB 32, disjoint from the blocker's default
+	// SB 114 matrix: none of its cells are memoized, so even if the
+	// pool admits it in the same instant the cancel lands, the build
+	// observes the canceled context and the terminal state stays
+	// deterministically canceled.
+	queued, _, err := s.Submit(JobRequest{Kind: "cells", Benches: []string{"505.mcf"}, SBs: []int{32}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + queued.ID + "/output")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict || !bytes.Contains(body, []byte("job not finished")) {
+		t.Fatalf("output of queued job = %d %q, want 409 'job not finished'", resp.StatusCode, body)
+	}
+
+	// Cancel the queued job while the blocker still owns the only pool
+	// slot. The cancellation is committed through the API — on a
+	// single-CPU runtime an HTTP round-trip can be starved by the
+	// spinning build workers until the blocker finishes, losing the
+	// race — and the HTTP layer then pins the terminal contract: a
+	// cancel POST on a terminal job is a 200 no-op reporting the
+	// immutable canceled state.
+	s.Cancel(queued.ID)
+	if v := waitJob(t, queued, 30*time.Second); v.State != JobCanceled {
+		t.Fatalf("canceled job ended %s, want canceled", v.State)
+	}
+	cresp, err := http.Post(ts.URL+"/v1/jobs/"+queued.ID+"/cancel", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cv JobJSON
+	if err := json.NewDecoder(cresp.Body).Decode(&cv); err != nil {
+		t.Fatal(err)
+	}
+	cresp.Body.Close()
+	if cresp.StatusCode != http.StatusOK || cv.State != JobCanceled {
+		t.Fatalf("cancel of canceled job = %d state %s, want 200 canceled", cresp.StatusCode, cv.State)
+	}
+	oresp, err := http.Get(ts.URL + "/v1/jobs/" + queued.ID + "/output")
+	if err != nil {
+		t.Fatal(err)
+	}
+	obody, _ := io.ReadAll(oresp.Body)
+	oresp.Body.Close()
+	if oresp.StatusCode != http.StatusConflict || !bytes.Contains(obody, []byte("job canceled")) {
+		t.Fatalf("output of canceled job = %d %q, want 409 'job canceled'", oresp.StatusCode, obody)
+	}
+
+	// Cancel of an already-finished job is a no-op 200: the terminal
+	// state is immutable, and the response proves it.
+	if v := waitJob(t, blocker, 2*time.Minute); v.State != JobDone {
+		t.Fatalf("blocker %s (%s), want done", v.State, v.Error)
+	}
+	fresp, err := http.Post(ts.URL+"/v1/jobs/"+blocker.ID+"/cancel", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fv JobJSON
+	if err := json.NewDecoder(fresp.Body).Decode(&fv); err != nil {
+		t.Fatal(err)
+	}
+	fresp.Body.Close()
+	if fresp.StatusCode != http.StatusOK || fv.State != JobDone {
+		t.Fatalf("cancel of finished job = %d state %s, want 200 done", fresp.StatusCode, fv.State)
+	}
+}
+
+// TestHistJobAndRegistryHTTP drives the histogram job over HTTP (the
+// full SB-bound matrix at one SB size), then spot-checks the registry
+// list, the bench endpoint, and the inflight gauge accessor.
+func TestHistJobAndRegistryHTTP(t *testing.T) {
+	s, _ := newTestServer(t, Options{MaxJobs: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body, _ := json.Marshal(JobRequest{Kind: "hist", SB: 114})
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v JobJSON
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || v.Kind != "hist" {
+		t.Fatalf("hist submit: status %d kind %s", resp.StatusCode, v.Kind)
+	}
+	if s.JobsInflight() == 0 {
+		t.Fatal("JobsInflight = 0 with a job just submitted")
+	}
+	j, ok := s.Job(v.ID)
+	if !ok {
+		t.Fatal("submitted hist job not in registry")
+	}
+	if fv := waitJob(t, j, 2*time.Minute); fv.State != JobDone {
+		t.Fatalf("hist job %s (%s), want done", fv.State, fv.Error)
+	}
+
+	out, err := http.Get(ts.URL + "/v1/jobs/" + v.ID + "/output")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(out.Body)
+	out.Body.Close()
+	if ct := out.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("hist output content type %q", ct)
+	}
+	if !bytes.Contains(data, []byte("SB occupancy")) && !bytes.Contains(data, []byte("occupancy")) {
+		t.Fatalf("hist output does not look like histograms:\n%.400s", data)
+	}
+
+	// The registry list carries the job.
+	lresp, err := http.Get(ts.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jobs []JobJSON
+	if err := json.NewDecoder(lresp.Body).Decode(&jobs); err != nil {
+		t.Fatal(err)
+	}
+	lresp.Body.Close()
+	found := false
+	for _, jj := range jobs {
+		if jj.ID == v.ID && jj.State == JobDone {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("GET /v1/jobs does not list finished hist job %s: %+v", v.ID, jobs)
+	}
+
+	// /v1/bench serves the BENCH_harness.json shape with live cell
+	// accounting.
+	bresp, err := http.Get(ts.URL + "/v1/bench")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep harness.BenchReport
+	if err := json.NewDecoder(bresp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	bresp.Body.Close()
+	if rep.HarnessVersion != harness.Version || rep.CellsRun == 0 {
+		t.Fatalf("bench report %+v", rep)
+	}
+
+	// Quiesced: the gauge returns to zero.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := s.WaitIdle(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.JobsInflight(); n != 0 {
+		t.Fatalf("JobsInflight = %d after WaitIdle, want 0", n)
+	}
+}
+
+// TestJobEviction pins the registry bound: with KeepJobs 1, old
+// terminal jobs are evicted as new ones arrive, and evicted IDs 404.
+func TestJobEviction(t *testing.T) {
+	s, _ := newTestServer(t, Options{MaxJobs: 1, KeepJobs: 1})
+
+	var ids []string
+	for _, bench := range []string{"502.gcc1", "502.gcc2", "502.gcc3"} {
+		j, _, err := s.Submit(JobRequest{Kind: "cells", Benches: []string{bench}, Mechs: []string{"base"}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, j.ID)
+		if v := waitJob(t, j, 2*time.Minute); v.State != JobDone {
+			t.Fatalf("job %s: %s (%s)", j.ID, v.State, v.Error)
+		}
+	}
+	if _, ok := s.Job(ids[0]); ok {
+		t.Fatalf("job %s survived eviction with KeepJobs=1", ids[0])
+	}
+	if got := len(s.Jobs()); got > 2 {
+		t.Fatalf("registry holds %d jobs with KeepJobs=1, want <= 2", got)
+	}
+	// The newest job is still present.
+	if _, ok := s.Job(ids[2]); !ok {
+		t.Fatalf("newest job %s missing from registry", ids[2])
+	}
+}
+
+// TestHealthzAndDrainingAccessor covers the healthy side of /healthz
+// and the Draining accessor across the drain transition.
+func TestHealthzAndDrainingAccessor(t *testing.T) {
+	s, _ := newTestServer(t, Options{MaxJobs: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !bytes.Equal(body, []byte("ok\n")) {
+		t.Fatalf("healthz = %d %q, want 200 ok", resp.StatusCode, body)
+	}
+	if resp.Header.Get("X-Tusd-Version") != harness.Version {
+		t.Fatalf("healthz version header %q", resp.Header.Get("X-Tusd-Version"))
+	}
+	if s.Draining() {
+		t.Fatal("fresh server reports draining")
+	}
+	s.StartDrain()
+	if !s.Draining() {
+		t.Fatal("Draining() false after StartDrain")
+	}
+	// Submission over HTTP during drain is 503 with the drain message.
+	b, _ := json.Marshal(JobRequest{Kind: "figure", Fig: 9})
+	dresp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dbody, _ := io.ReadAll(dresp.Body)
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusServiceUnavailable || !bytes.Contains(dbody, []byte("draining")) {
+		t.Fatalf("submit during drain = %d %q, want 503 draining", dresp.StatusCode, dbody)
+	}
+}
+
+// TestPromFloat pins the Prometheus float spellings for the edge cases.
+func TestPromFloat(t *testing.T) {
+	for _, tc := range []struct {
+		in   float64
+		want string
+	}{
+		{1.5, "1.5"},
+		{0, "0"},
+		{math.NaN(), "NaN"},
+		{math.Inf(1), "+Inf"},
+		{math.Inf(-1), "-Inf"},
+	} {
+		if got := promFloat(tc.in); got != tc.want {
+			t.Errorf("promFloat(%v) = %q, want %q", tc.in, got, tc.want)
+		}
 	}
 }

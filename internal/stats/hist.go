@@ -147,6 +147,34 @@ func (s HistSnapshot) Quantile(q float64) uint64 {
 	return s.Max
 }
 
+// QuantSummary is the standard latency/occupancy export: sample count,
+// mean, exact max, and the p50/p95/p99 *upper bounds* (each quantile is
+// the exclusive upper bound of its power-of-two bucket, so the true
+// quantile is strictly below the reported value — a conservative SLO
+// reading). tusload's latency report and its perf-regression gate are
+// built on this shape.
+type QuantSummary struct {
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean"`
+	Max   uint64  `json:"max"`
+	P50   uint64  `json:"p50"`
+	P95   uint64  `json:"p95"`
+	P99   uint64  `json:"p99"`
+}
+
+// Summary exports the snapshot's quantile summary. All-zero on an empty
+// histogram.
+func (s HistSnapshot) Summary() QuantSummary {
+	return QuantSummary{
+		Count: s.Count,
+		Mean:  Ratio(s.Sum, s.Count),
+		Max:   s.Max,
+		P50:   s.Quantile(0.50),
+		P95:   s.Quantile(0.95),
+		P99:   s.Quantile(0.99),
+	}
+}
+
 // BucketUpper returns the exclusive upper bound of bucket i: samples in
 // bucket i satisfy BucketLower(i) <= v < BucketUpper(i).
 func BucketUpper(i int) uint64 {

@@ -236,3 +236,98 @@ func TestMergeHistSnapshot(t *testing.T) {
 		}
 	}
 }
+
+// TestQuantileUpperBoundSemantics pins the p50/p95/p99 upper-bound
+// contract on known distributions; tusload's SLO gate reads these
+// values, so their semantics must not drift. Every quantile is the
+// exclusive upper bound of the power-of-two bucket holding the q-th
+// sample.
+func TestQuantileUpperBoundSemantics(t *testing.T) {
+	cases := []struct {
+		name          string
+		observe       func(h *Histogram)
+		p50, p95, p99 uint64
+	}{
+		{
+			// Uniform 1..1000: the 500th sample is 500, in bucket
+			// [256,512); the 950th and 990th are in [512,1024).
+			name: "uniform-1-1000",
+			observe: func(h *Histogram) {
+				for v := uint64(1); v <= 1000; v++ {
+					h.Observe(v)
+				}
+			},
+			p50: 512, p95: 1024, p99: 1024,
+		},
+		{
+			// Point mass: every quantile lands in the single occupied
+			// bucket [4,8).
+			name: "point-mass-7",
+			observe: func(h *Histogram) {
+				for i := 0; i < 1000; i++ {
+					h.Observe(7)
+				}
+			},
+			p50: 8, p95: 8, p99: 8,
+		},
+		{
+			// Two modes, 90%/10%: the median sits in the low mode's
+			// bucket [1,2); the tail quantiles in the high mode's
+			// [512,1024).
+			name: "two-mode-1-1000",
+			observe: func(h *Histogram) {
+				for i := 0; i < 900; i++ {
+					h.Observe(1)
+				}
+				for i := 0; i < 100; i++ {
+					h.Observe(1000)
+				}
+			},
+			p50: 2, p95: 1024, p99: 1024,
+		},
+		{
+			// Zero samples occupy bucket 0, whose upper bound is 1.
+			name: "all-zero",
+			observe: func(h *Histogram) {
+				for i := 0; i < 10; i++ {
+					h.Observe(0)
+				}
+			},
+			p50: 1, p95: 1, p99: 1,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := &Histogram{name: tc.name}
+			tc.observe(h)
+			s := h.Snapshot()
+			if got := s.Quantile(0.50); got != tc.p50 {
+				t.Errorf("p50 = %d, want %d", got, tc.p50)
+			}
+			if got := s.Quantile(0.95); got != tc.p95 {
+				t.Errorf("p95 = %d, want %d", got, tc.p95)
+			}
+			if got := s.Quantile(0.99); got != tc.p99 {
+				t.Errorf("p99 = %d, want %d", got, tc.p99)
+			}
+			// The summary export must agree with the raw quantile calls.
+			sum := s.Summary()
+			if sum.P50 != tc.p50 || sum.P95 != tc.p95 || sum.P99 != tc.p99 {
+				t.Errorf("Summary quantiles = %d/%d/%d, want %d/%d/%d",
+					sum.P50, sum.P95, sum.P99, tc.p50, tc.p95, tc.p99)
+			}
+			if sum.Count != s.Count || sum.Max != s.Max {
+				t.Errorf("Summary count/max = %d/%d, want %d/%d", sum.Count, sum.Max, s.Count, s.Max)
+			}
+		})
+	}
+}
+
+// TestQuantSummaryEmpty: an empty histogram exports an all-zero summary
+// (no NaNs leak into the JSON report).
+func TestQuantSummaryEmpty(t *testing.T) {
+	var s HistSnapshot
+	if got := s.Summary(); got != (QuantSummary{}) {
+		t.Errorf("empty summary = %+v, want zero value", got)
+	}
+}

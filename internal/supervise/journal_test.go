@@ -267,3 +267,58 @@ func TestSupervisorJournals(t *testing.T) {
 		t.Fatalf("quarantined cell not journaled: %v", st.Quarantined)
 	}
 }
+
+// TestNewRunID: IDs are sortable (timestamp prefix) and
+// collision-resistant (random suffix makes same-second IDs distinct).
+func TestNewRunID(t *testing.T) {
+	a, b := NewRunID(), NewRunID()
+	if a == b {
+		t.Fatalf("two NewRunID calls collided: %s", a)
+	}
+	for _, id := range []string{a, b} {
+		if len(id) < len("20060102-150405") {
+			t.Fatalf("run ID %q shorter than its timestamp prefix", id)
+		}
+		if strings.ContainsAny(id, "/\\ ") {
+			t.Fatalf("run ID %q is not filesystem-safe", id)
+		}
+	}
+}
+
+// TestList enumerates journals and tolerates absent directories.
+func TestList(t *testing.T) {
+	dir := t.TempDir()
+	ids, err := List(dir + "/does-not-exist")
+	if err != nil || ids != nil {
+		t.Fatalf("List on missing dir = %v, %v; want nil, nil", ids, err)
+	}
+	writeJournal(t, dir, true)
+	if _, err := Create(dir, "run-2", testHeader{Tool: "tusd"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dir+"/notes.txt", []byte("not a journal"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ids, err = List(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 || ids[0] != "run-1" || ids[1] != "run-2" {
+		t.Fatalf("List = %v, want [run-1 run-2]", ids)
+	}
+}
+
+// TestCreateErrors: an unmarshalable header and an unusable directory
+// both fail up front instead of leaving a torn journal.
+func TestCreateErrors(t *testing.T) {
+	if _, err := Create(t.TempDir(), "run-x", map[string]any{"ch": make(chan int)}); err == nil {
+		t.Fatal("Create accepted an unmarshalable header")
+	}
+	file := t.TempDir() + "/occupied"
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Create(file+"/sub", "run-x", testHeader{}); err == nil {
+		t.Fatal("Create accepted a journal dir under a regular file")
+	}
+}

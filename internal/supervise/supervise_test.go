@@ -254,3 +254,44 @@ func TestBackoffDeterministic(t *testing.T) {
 		t.Fatalf("jitter not deterministic for equal seeds: %v vs %v", a, b)
 	}
 }
+
+// TestErrorStrings pins the error types' rendered messages and unwrap
+// behaviour — they surface in logs and quarantine reports.
+func TestErrorStrings(t *testing.T) {
+	inner := errors.New("boom")
+	q := &Quarantined{Key: "a/TUS/114", Reason: "deterministic failure", Err: inner}
+	if got := q.Error(); got != "supervise: cell a/TUS/114 quarantined: deterministic failure" {
+		t.Fatalf("Quarantined.Error() = %q", got)
+	}
+	if !errors.Is(q, inner) {
+		t.Fatal("Quarantined does not unwrap to its cause")
+	}
+	d := &DeadlineError{Key: "b/base/32", Limit: 2 * time.Second}
+	if got := d.Error(); got != "supervise: cell b/base/32 exceeded its 2s deadline" {
+		t.Fatalf("DeadlineError.Error() = %q", got)
+	}
+}
+
+// TestNewDefaultsAndWarnf: New fills zero policy fields with defaults,
+// honors explicit ones, and routes warnings through the hook.
+func TestNewDefaultsAndWarnf(t *testing.T) {
+	s := New(Policy{})
+	if s == nil {
+		t.Fatal("New returned nil")
+	}
+	var warned []string
+	s2 := New(Policy{
+		Fallback:       time.Second,
+		DeadlineFactor: 3,
+		MinDeadline:    time.Millisecond,
+		BaseBackoff:    time.Millisecond,
+		MaxBackoff:     time.Millisecond,
+		Warnf:          func(format string, args ...any) { warned = append(warned, fmt.Sprintf(format, args...)) },
+	})
+	s2.warnf("cell %s retried", "a/base/114")
+	if len(warned) != 1 || warned[0] != "cell a/base/114 retried" {
+		t.Fatalf("warnf hook: %v", warned)
+	}
+	// No hook installed: warnf is a safe no-op.
+	s.warnf("dropped %d", 1)
+}

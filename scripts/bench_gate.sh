@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# bench_gate.sh — the perf-regression ratchet.
+#
+# Regenerates every figure with a fresh (empty) result cache, recording
+# the per-figure wall-clock trajectory, then compares it against the
+# committed BENCH_harness.json baseline via `tusload -gate`: any figure
+# (or the total wall-clock) more than MAX_RATIO x slower fails the
+# build. Getting faster never fails — tightening the baseline is a
+# deliberate commit, not an accident.
+#
+# Environment:
+#   BASELINE      committed bench baseline (default BENCH_harness.json)
+#   FRESH         pre-generated fresh record; skip regeneration if set
+#   MAX_RATIO     allowed fresh/baseline multiple (default 2.0)
+#   LAT_BASELINE  optional committed tusload latency report
+#   LAT_FRESH     optional fresh tusload latency report (compared on
+#                 per-endpoint p99 when both LAT_* are set)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE=${BASELINE:-BENCH_harness.json}
+FRESH=${FRESH:-}
+MAX_RATIO=${MAX_RATIO:-2.0}
+LAT_BASELINE=${LAT_BASELINE:-}
+LAT_FRESH=${LAT_FRESH:-}
+
+if [[ ! -f "$BASELINE" ]]; then
+    echo "bench_gate: baseline $BASELINE missing" >&2
+    exit 1
+fi
+
+if [[ -z "$FRESH" ]]; then
+    workdir=$(mktemp -d)
+    trap 'rm -rf "$workdir"' EXIT
+    FRESH=$workdir/BENCH_fresh.json
+    echo "bench_gate: regenerating figures with a fresh cache (this is the timed run)" >&2
+    go run ./cmd/tusbench -quick -j 0 -cache "$workdir/cache" -bench-out "$FRESH" >/dev/null
+fi
+
+args=(-gate -bench-baseline "$BASELINE" -bench-fresh "$FRESH" -max-ratio "$MAX_RATIO")
+if [[ -n "$LAT_BASELINE" && -n "$LAT_FRESH" ]]; then
+    args+=(-lat-baseline "$LAT_BASELINE" -lat-fresh "$LAT_FRESH")
+fi
+go run ./cmd/tusload "${args[@]}"
