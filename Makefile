@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test short race race-harness check smoke chaos litmus figs figures-par fuzz cover trace-smoke resume-smoke serve server-smoke loadtest soak bench-gate clean
+.PHONY: all build vet test short race race-harness check smoke chaos litmus figs figures-par fuzz cover bench ref-identity trace-smoke resume-smoke serve server-smoke loadtest soak bench-gate clean
 
 all: vet build test
 
@@ -25,9 +25,13 @@ race:
 # race-harness: the parallel experiment harness (worker pool, result
 # cache, stats merging, supervision layer) and the tusd service layer
 # (job pool, coalescing, SSE fan-out) under the race detector,
-# including the serial-vs-parallel byte-identity tests.
+# including the serial-vs-parallel byte-identity tests. The zero-alloc
+# pins (SB enqueue->commit->drain, L1-hit load/store, WCB coalesce,
+# event queue) run alongside in their packages — allocation regressions
+# on the hot paths fail here, not in a profiler three PRs later.
 race-harness:
 	$(GO) test -race ./internal/harness/... ./internal/stats/... ./internal/supervise/... ./internal/server/...
+	$(GO) test -run 'ZeroAlloc' -count=1 ./internal/cpu/ ./internal/memsys/ ./internal/wcb/ ./internal/event/ ./internal/lmap/
 
 # check: model-check the simulator against the operational x86-TSO
 # oracle — every litmus program × {base, CSB, TUS}, bounded-exhaustive
@@ -74,10 +78,12 @@ fuzz:
 # cover: enforce the coverage floor over the layers that carry the
 # repo's behavioural contracts — the tracer and histogram code (golden/
 # identity guarantees), the tusd service layer (coalescing, SSE,
-# exactly-once accounting), and the supervision/journal layer (crash
-# consistency).
+# exactly-once accounting), the supervision/journal layer (crash
+# consistency), and the simulator hot core (event queue, CPU core,
+# memory system, line-map containers) whose pooled fast paths the
+# differential rig and these tests keep honest.
 cover:
-	$(GO) test -coverprofile=cover.out ./internal/trace/ ./internal/stats/ ./internal/server/ ./internal/supervise/
+	$(GO) test -coverprofile=cover.out ./internal/trace/ ./internal/stats/ ./internal/server/ ./internal/supervise/ ./internal/event/ ./internal/cpu/ ./internal/memsys/ ./internal/lmap/
 	$(GO) tool cover -func=cover.out | awk '/^total:/ { sub("%","",$$3); if ($$3+0 < 85) { printf "coverage %.1f%% below 85%% floor\n", $$3; exit 1 } else printf "coverage %.1f%% (floor 85%%)\n", $$3 }'
 
 # trace-smoke: the acceptance path — a smoke workload emitting a
@@ -119,6 +125,24 @@ loadtest:
 soak:
 	$(GO) build -o bin/tusd ./cmd/tusd
 	$(GO) run ./cmd/tusload -tusd bin/tusd -soak -ops 2500 -parallel-ops 300 -requests 600 -duration 15s
+
+# bench: the tiered microbenchmark suite, cheapest first — container
+# ops (lmap), event queue, SB drain, WCB coalesce, L1 hit/miss +
+# directory probe, then whole-cell simulation throughput. Run with
+# -benchmem semantics baked in where it matters; compare against a
+# baseline with benchstat if available.
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 0.5s ./internal/lmap/ ./internal/event/ ./internal/cpu/ ./internal/wcb/ ./internal/memsys/
+	$(GO) test -run '^$$' -bench 'BenchmarkSimulatorThroughput|BenchmarkWholeCellCyclesPerSec' -benchtime 2s .
+
+# ref-identity: the mechanical observational-equivalence proof for the
+# open-addressed/pooled containers — the entire test suite (golden
+# figures, chaos, model check included) replayed on the reference
+# container implementations via the tus_ref build tag, plus the
+# in-process differential rigs that compare both modes side by side.
+ref-identity:
+	$(GO) test -tags tus_ref ./...
+	$(GO) test -run 'TestDifferential|TestRefContainers' -count=1 ./internal/memsys/ ./internal/system/
 
 # bench-gate: the perf-regression ratchet — regenerate the figures with
 # a fresh cache, then fail if any figure (or total wall-clock) got more

@@ -283,6 +283,28 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "ops/s")
 }
 
+// BenchmarkWholeCellCyclesPerSec measures a whole experiment cell
+// (system build + full run) in simulated cycles per wall second — the
+// same unit the harness records as sim_cycles_per_sec and the perf
+// ratchet gates on.
+func BenchmarkWholeCellCyclesPerSec(b *testing.B) {
+	bench, _ := workload.ByName("502.gcc2")
+	b.ResetTimer()
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		cfg := config.Default().WithMechanism(config.TUS)
+		sys, err := system.New(cfg, bench.Streams(int64(i+1), 50_000))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sys.Run(); err != nil {
+			b.Fatal(err)
+		}
+		cycles += sys.Cycles
+	}
+	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "cycles/s")
+}
+
 func itoa(n int) string {
 	if n == 0 {
 		return "0"

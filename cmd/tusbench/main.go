@@ -46,6 +46,7 @@ import (
 
 	"tusim/internal/config"
 	"tusim/internal/harness"
+	"tusim/internal/prof"
 	"tusim/internal/supervise"
 	"tusim/internal/workload"
 )
@@ -88,7 +89,16 @@ func main() {
 	journalOn := flag.Bool("journal", false, "record a crash-consistent run journal under -journal-dir")
 	journalDir := flag.String("journal-dir", ".tusjournal", "run journal directory")
 	resume := flag.String("resume", "", "resume a killed journaled run by its run ID")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of this invocation to the file")
+	memprofile := flag.String("memprofile", "", "write a post-GC heap profile to the file on exit")
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fail(err)
+	}
+	profStop = stopProf
+	defer stopProf()
 
 	if *list {
 		enc := json.NewEncoder(os.Stdout)
@@ -313,7 +323,14 @@ func main() {
 	emitBench()
 }
 
+// profStop finalizes any active profiles; fail must flush them because
+// os.Exit skips deferred calls.
+var profStop func()
+
 func fail(err error) {
+	if profStop != nil {
+		profStop()
+	}
 	fmt.Fprintln(os.Stderr, "tusbench:", err)
 	os.Exit(1)
 }

@@ -31,6 +31,7 @@ import (
 	"tusim/internal/harness"
 	"tusim/internal/isa"
 	"tusim/internal/litmus"
+	"tusim/internal/prof"
 	"tusim/internal/system"
 	"tusim/internal/trace"
 	"tusim/internal/tso"
@@ -60,17 +61,27 @@ func main() {
 	repro := flag.String("repro", "", "replay a crash repro bundle and exit")
 	crashOut := flag.String("crash-out", "tus-crash.json", "where -chaos-seed writes the repro bundle on failure")
 	workers := flag.Int("j", 0, "max concurrent chaos cells (0 = all CPUs, 1 = serial; results identical)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of this invocation to the file")
+	memprofile := flag.String("memprofile", "", "write a post-GC heap profile to the file on exit")
 	flag.Parse()
 
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fail(err)
+	}
+	profStop = stopProf
+	defer stopProf()
+
 	if *repro != "" {
-		bundle, err := harness.LoadBundle(*repro)
-		if err != nil {
+		bundle, lerr := harness.LoadBundle(*repro)
+		if err := lerr; err != nil {
 			fail(err)
 		}
 		fmt.Printf("replaying %s run %q (%s, fault seed %#x)...\n",
 			bundle.Kind, bundle.Name, bundle.Mechanism, bundle.Faults.Seed)
 		if err := bundle.Replay(); err != nil {
 			reportCrash(err)
+			stopProf()
 			os.Exit(1)
 		}
 		fmt.Println("repro: run completed clean — failure did NOT reproduce (bundle/binary mismatch?)")
@@ -193,6 +204,7 @@ func main() {
 	}
 	if err := sys.Run(); err != nil {
 		reportCrash(err)
+		stopProf()
 		os.Exit(1)
 	}
 	if ck != nil {
@@ -290,6 +302,9 @@ func runChaos(seed, auditEvery uint64, crashOut string, workers int) {
 	}
 	fmt.Printf("FAILURE — repro bundle written to %s (replay: tusim -repro %s)\n", crashOut, crashOut)
 	reportCrash(res.Err)
+	if profStop != nil {
+		profStop()
+	}
 	os.Exit(1)
 }
 
@@ -309,7 +324,14 @@ func pct(n, cycles uint64, cores int) float64 {
 	return 100 * float64(n) / float64(cycles) / float64(cores)
 }
 
+// profStop finalizes any active profiles; fail and the crash exits must
+// flush them because os.Exit skips deferred calls.
+var profStop func()
+
 func fail(err error) {
+	if profStop != nil {
+		profStop()
+	}
 	fmt.Fprintln(os.Stderr, "tusim:", err)
 	os.Exit(1)
 }

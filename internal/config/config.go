@@ -159,6 +159,15 @@ type Config struct {
 	// cannot change any simulation result, so the result cache excludes
 	// it from cell identity. Zero selects DefaultCellTimeout.
 	CellTimeout time.Duration
+
+	// RefContainers runs this machine's per-line state (private cache
+	// lines, MSHRs, writeback buffer, directory entries) on the
+	// reference container implementations (built-in maps, always-fresh
+	// allocation) instead of the open-addressed/pooled fast path. Any
+	// observable difference between the two modes is a bug; the
+	// differential state-identity rig runs one system in each mode and
+	// compares state at every drain point.
+	RefContainers bool
 }
 
 // DefaultWatchdogWindow is the no-commit-progress bound used when

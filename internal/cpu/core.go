@@ -1,7 +1,6 @@
 package cpu
 
 import (
-	"container/heap"
 	"encoding/binary"
 
 	"tusim/internal/config"
@@ -54,15 +53,6 @@ type mobLoad struct {
 	size uint8
 }
 
-// seqHeap orders ready ops oldest-first for issue.
-type seqHeap []uint64
-
-func (h seqHeap) Len() int           { return len(h) }
-func (h seqHeap) Less(i, j int) bool { return h[i] < h[j] }
-func (h seqHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *seqHeap) Push(x any)        { *h = append(*h, x.(uint64)) }
-func (h *seqHeap) Pop() any          { old := *h; n := len(old); v := old[n-1]; *h = old[:n-1]; return v }
-
 // LoadObserver receives every architecturally bound load value (the
 // TSO checker subscribes).
 type LoadObserver func(core int, seq, addr uint64, size uint8, value [8]byte)
@@ -76,22 +66,36 @@ type Core struct {
 	priv *memsys.Private
 	mech DrainMechanism
 
-	stream isa.Stream
-	nextOp *isa.MicroOp // lookahead
-	seq    uint64       // next seq to dispatch
-	eof    bool
+	stream   isa.Stream
+	nextOp   isa.MicroOp // lookahead slot, valid when haveNext
+	haveNext bool
+	seq      uint64 // next seq to dispatch
+	eof      bool
 
+	// rob is a power-of-two ring indexed by seq&robMask; robCap is the
+	// architectural capacity (the ring may be larger so indexing is a
+	// mask, not a division).
 	rob      []robEntry
+	robMask  uint64
+	robCap   int
 	robHead  uint64 // seq of oldest in-flight op
 	robCount int
 
 	SB      *StoreBuffer
 	lqCount int
 
-	ready        seqHeap
+	// ready is a hand-rolled min-heap of issuable seqs (oldest first);
+	// seqs are unique so the pop order is total.
+	ready        []uint64
 	blockedLoads []uint64 // loads waiting on conflicts/MSHRs/fences
 	fences       []uint64 // seqs of in-flight fences
 	mob          []mobLoad
+
+	// execDoneFn/fwdDoneFn are the long-lived two-arg event callbacks
+	// the issue path schedules through; binding them once keeps the
+	// per-op execute/forward completions allocation-free.
+	execDoneFn event.Func2
+	fwdDoneFn  event.Func2
 
 	// ReadVisible returns the current globally visible value of a byte
 	// range (wired by system). It is consulted only to re-bind snooped
@@ -133,6 +137,10 @@ func NewCore(id int, cfg *config.Config, q *event.Queue, priv *memsys.Private, s
 			fw = w
 		}
 	}
+	robSize := 1
+	for robSize < cfg.ROBEntries {
+		robSize <<= 1
+	}
 	c := &Core{
 		ID:         id,
 		cfg:        cfg,
@@ -140,10 +148,14 @@ func NewCore(id int, cfg *config.Config, q *event.Queue, priv *memsys.Private, s
 		st:         st,
 		priv:       priv,
 		stream:     stream,
-		rob:        make([]robEntry, cfg.ROBEntries),
+		rob:        make([]robEntry, robSize),
+		robMask:    uint64(robSize - 1),
+		robCap:     cfg.ROBEntries,
 		SB:         NewStoreBuffer(cfg.SBEntries),
 		frontWidth: fw,
 	}
+	c.execDoneFn = c.execDone
+	c.fwdDoneFn = c.fwdDone
 	c.cCycles = st.Counter("cycles")
 	c.cCommitted = st.Counter("committed_ops")
 	c.cLoads = st.Counter("loads")
@@ -183,6 +195,7 @@ func NewCore(id int, cfg *config.Config, q *event.Queue, priv *memsys.Private, s
 		})
 	}
 	priv.OnLineLost = c.snoopInvalidate
+	priv.LoadReply = c.loadReply
 	return c
 }
 
@@ -207,12 +220,49 @@ func StoreValue(core int, seq uint64) [8]byte {
 	return v
 }
 
-func (c *Core) entry(seq uint64) *robEntry { return &c.rob[seq%uint64(len(c.rob))] }
+func (c *Core) entry(seq uint64) *robEntry { return &c.rob[seq&c.robMask] }
+
+// readyPush inserts seq into the ready min-heap.
+func (c *Core) readyPush(seq uint64) {
+	c.ready = append(c.ready, seq)
+	i := len(c.ready) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if c.ready[p] <= c.ready[i] {
+			break
+		}
+		c.ready[i], c.ready[p] = c.ready[p], c.ready[i]
+		i = p
+	}
+}
+
+// readyPop removes the minimum seq (callers peek c.ready[0] first).
+func (c *Core) readyPop() {
+	n := len(c.ready) - 1
+	c.ready[0] = c.ready[n]
+	c.ready = c.ready[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && c.ready[r] < c.ready[l] {
+			m = r
+		}
+		if c.ready[i] <= c.ready[m] {
+			break
+		}
+		c.ready[i], c.ready[m] = c.ready[m], c.ready[i]
+		i = m
+	}
+}
 
 // Done reports the core has fully retired its trace, drained its SB
 // and mechanism, and has no in-flight memory operations.
 func (c *Core) Done() bool {
-	return c.eof && c.nextOp == nil && c.robCount == 0 && c.SB.Empty() &&
+	return c.eof && !c.haveNext && c.robCount == 0 && c.SB.Empty() &&
 		(c.mech == nil || c.mech.Drained())
 }
 
@@ -333,7 +383,7 @@ func (c *Core) issue() {
 		seq := c.ready[0]
 		e := c.entry(seq)
 		if !e.valid || e.seq != seq || e.issued {
-			heap.Pop(&c.ready)
+			c.readyPop()
 			continue
 		}
 		k := e.op.Kind
@@ -346,7 +396,7 @@ func (c *Core) issue() {
 			} else if simpleALU == 0 && complexALU == 0 {
 				break
 			}
-			heap.Pop(&c.ready)
+			c.readyPop()
 			if k.Complex() {
 				complexALU--
 			} else if simpleALU > 0 {
@@ -361,12 +411,12 @@ func (c *Core) issue() {
 		}
 		if k == isa.Load {
 			if c.blockedByFence(seq) {
-				heap.Pop(&c.ready)
+				c.readyPop()
 				e.issued = true
 				c.blockedLoads = append(c.blockedLoads, seq)
 				continue
 			}
-			heap.Pop(&c.ready)
+			c.readyPop()
 			e.issued = true
 			issued++
 			if !c.tryLoad(e) {
@@ -375,7 +425,7 @@ func (c *Core) issue() {
 			continue
 		}
 		// Fence: becomes "done" at commit time; nothing to issue.
-		heap.Pop(&c.ready)
+		c.readyPop()
 		e.issued = true
 	}
 }
@@ -401,22 +451,24 @@ func (c *Core) latencyOf(k isa.Kind) uint64 {
 }
 
 func (c *Core) execute(e *robEntry) {
-	seq := e.seq
-	lat := c.latencyOf(e.op.Kind)
-	c.q.After(lat, func() {
-		e2 := c.entry(seq)
-		if !e2.valid || e2.seq != seq {
-			return
+	c.q.After2(c.latencyOf(e.op.Kind), c.execDoneFn, e.seq, 0)
+}
+
+// execDone is the functional-unit completion event (scheduled through
+// the preallocated execDoneFn binding; the second argument is unused).
+func (c *Core) execDone(seq, _ uint64) {
+	e2 := c.entry(seq)
+	if !e2.valid || e2.seq != seq {
+		return
+	}
+	if e2.op.Kind == isa.Store {
+		e2.sbEntry.Data = StoreValue(c.ID, seq)
+		c.SB.MarkExecuted(e2.sbEntry)
+		if c.OnStoreExec != nil {
+			c.OnStoreExec(seq, e2.op.Addr, e2.op.Size, e2.sbEntry.Data)
 		}
-		if e2.op.Kind == isa.Store {
-			e2.sbEntry.Data = StoreValue(c.ID, seq)
-			c.SB.MarkExecuted(e2.sbEntry)
-			if c.OnStoreExec != nil {
-				c.OnStoreExec(seq, e2.op.Addr, e2.op.Size, e2.sbEntry.Data)
-			}
-		}
-		c.complete(e2)
-	})
+	}
+	c.complete(e2)
 }
 
 func (c *Core) complete(e *robEntry) {
@@ -425,8 +477,13 @@ func (c *Core) complete(e *robEntry) {
 }
 
 func (c *Core) notifyWaiters(e *robEntry) {
+	// Truncating (not nil-ing) keeps the slot's grown capacity for the
+	// next op dispatched into this ring entry. Safe because waiters are
+	// only appended while the producer is !done, and the loop body below
+	// never dispatches: nothing can append into the backing array while
+	// we iterate it.
 	ws := e.waiters
-	e.waiters = nil
+	e.waiters = e.waiters[:0]
 	for _, w := range ws {
 		d := c.entry(w)
 		if !d.valid || d.seq != w {
@@ -434,7 +491,7 @@ func (c *Core) notifyWaiters(e *robEntry) {
 		}
 		d.depCount--
 		if d.depCount == 0 && !d.issued {
-			heap.Push(&c.ready, w)
+			c.readyPush(w)
 		}
 	}
 }
@@ -504,7 +561,7 @@ func (c *Core) tryLoad(e *robEntry) bool {
 	switch res {
 	case FwdHit:
 		c.cFwdHits.Inc()
-		c.q.After(c.cfg.ForwardLatency(), func() { c.finishLoad(seq, data, false) })
+		c.q.After2(c.cfg.ForwardLatency(), c.fwdDoneFn, seq, binary.LittleEndian.Uint64(data[:]))
 		return true
 	case FwdConflict:
 		c.cFwdConflicts.Inc()
@@ -517,7 +574,7 @@ func (c *Core) tryLoad(e *robEntry) bool {
 		switch mres {
 		case FwdHit:
 			c.cMechFwd.Inc()
-			c.q.After(c.cfg.ForwardLatency(), func() { c.finishLoad(seq, mdata, false) })
+			c.q.After2(c.cfg.ForwardLatency(), c.fwdDoneFn, seq, binary.LittleEndian.Uint64(mdata[:]))
 			return true
 		case FwdConflict:
 			return false
@@ -525,11 +582,24 @@ func (c *Core) tryLoad(e *robEntry) bool {
 	}
 
 	// 3. L1D (which internally handles unauthorized-line aliasing).
-	return c.priv.Load(addr, size, func(b []byte) {
-		var v [8]byte
-		copy(v[:], b)
-		c.finishLoad(seq, v, true)
-	})
+	// The seq-based form answers through loadReply below — no per-load
+	// closure, no per-load byte slice.
+	return c.priv.LoadSeq(addr, size, seq)
+}
+
+// loadReply receives memory-system load data (packed little-endian),
+// installed once as the private hierarchy's LoadReply at construction.
+func (c *Core) loadReply(seq, data uint64) {
+	var v [8]byte
+	binary.LittleEndian.PutUint64(v[:], data)
+	c.finishLoad(seq, v, true)
+}
+
+// fwdDone completes a store-to-load forward (SB or mechanism CAM hit).
+func (c *Core) fwdDone(seq, data uint64) {
+	var v [8]byte
+	binary.LittleEndian.PutUint64(v[:], data)
+	c.finishLoad(seq, v, false)
 }
 
 // finishLoad binds a load value. fromMem marks values read from the
@@ -552,9 +622,11 @@ func (c *Core) finishLoad(seq uint64, value [8]byte, fromMem bool) {
 
 // ---------- Dispatch ----------
 
+// fetchNext returns the next op to dispatch, holding it in the
+// in-struct lookahead slot (no per-op heap escape).
 func (c *Core) fetchNext() *isa.MicroOp {
-	if c.nextOp != nil {
-		return c.nextOp
+	if c.haveNext {
+		return &c.nextOp
 	}
 	if c.eof {
 		return nil
@@ -564,8 +636,9 @@ func (c *Core) fetchNext() *isa.MicroOp {
 		c.eof = true
 		return nil
 	}
-	c.nextOp = &op
-	return c.nextOp
+	c.nextOp = op
+	c.haveNext = true
+	return &c.nextOp
 }
 
 func (c *Core) dispatch() {
@@ -576,7 +649,7 @@ func (c *Core) dispatch() {
 		if op == nil {
 			break
 		}
-		if c.robCount == len(c.rob) {
+		if c.robCount == c.robCap {
 			stall = c.cStallROB
 			break
 		}
@@ -597,7 +670,7 @@ func (c *Core) dispatch() {
 			stall = c.cStallSB
 			break
 		}
-		c.nextOp = nil
+		c.haveNext = false
 		dispatched++
 	}
 	if dispatched == 0 && stall != nil {
@@ -621,7 +694,7 @@ func (c *Core) dispatchOp(op isa.MicroOp) bool {
 	}
 	c.seq++
 	e := c.entry(seq)
-	*e = robEntry{seq: seq, op: op, valid: true}
+	*e = robEntry{seq: seq, op: op, valid: true, waiters: e.waiters[:0]}
 	c.robCount++
 	if c.robCount == 1 {
 		c.robHead = seq
@@ -653,7 +726,7 @@ func (c *Core) dispatchOp(op isa.MicroOp) bool {
 		}
 	}
 	if e.depCount == 0 {
-		heap.Push(&c.ready, seq)
+		c.readyPush(seq)
 	}
 	return true
 }

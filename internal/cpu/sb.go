@@ -32,9 +32,13 @@ func (e *SBEntry) Mask() memsys.Mask { return memsys.MaskFor(e.Addr, e.Size) }
 // StoreBuffer is a program-order ring of stores. Every load searches it
 // associatively (the CAM the paper's energy analysis centres on).
 type StoreBuffer struct {
-	entries []SBEntry
-	head    int
-	count   int
+	// entries is a power-of-two ring (indexing is a mask, not a
+	// division); capacity is the architectural size.
+	entries  []SBEntry
+	mask     int
+	capacity int
+	head     int
+	count    int
 	// minUnexec caches the oldest store whose address is still unknown
 	// (^0 when none), so blocked loads don't rescan the CAM each cycle.
 	minUnexec uint64
@@ -53,17 +57,21 @@ const noUnexec = ^uint64(0)
 
 // NewStoreBuffer allocates an SB with the given capacity.
 func NewStoreBuffer(capacity int) *StoreBuffer {
-	return &StoreBuffer{entries: make([]SBEntry, capacity), minUnexec: noUnexec}
+	size := 1
+	for size < capacity {
+		size <<= 1
+	}
+	return &StoreBuffer{entries: make([]SBEntry, size), mask: size - 1, capacity: capacity, minUnexec: noUnexec}
 }
 
 // Cap returns the SB capacity.
-func (sb *StoreBuffer) Cap() int { return len(sb.entries) }
+func (sb *StoreBuffer) Cap() int { return sb.capacity }
 
 // Len returns the number of occupied slots.
 func (sb *StoreBuffer) Len() int { return sb.count }
 
 // Full reports whether dispatch must stall on a store.
-func (sb *StoreBuffer) Full() bool { return sb.count == len(sb.entries) }
+func (sb *StoreBuffer) Full() bool { return sb.count == sb.capacity }
 
 // Empty reports an empty SB.
 func (sb *StoreBuffer) Empty() bool { return sb.count == 0 }
@@ -76,7 +84,7 @@ func (sb *StoreBuffer) Push(seq, addr uint64, size uint8) *SBEntry {
 		sb.Overflows++
 		return nil
 	}
-	idx := (sb.head + sb.count) % len(sb.entries)
+	idx := (sb.head + sb.count) & sb.mask
 	sb.count++
 	e := &sb.entries[idx]
 	*e = SBEntry{Seq: seq, Addr: addr, Size: size}
@@ -121,13 +129,13 @@ func (sb *StoreBuffer) Pop() {
 	if sb.OnPop != nil {
 		sb.OnPop(&sb.entries[sb.head])
 	}
-	sb.head = (sb.head + 1) % len(sb.entries)
+	sb.head = (sb.head + 1) & sb.mask
 	sb.count--
 }
 
 // at returns the i-th oldest entry (0 = head).
 func (sb *StoreBuffer) at(i int) *SBEntry {
-	return &sb.entries[(sb.head+i)%len(sb.entries)]
+	return &sb.entries[(sb.head+i)&sb.mask]
 }
 
 // ForwardResult classifies an SB search for a load.

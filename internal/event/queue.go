@@ -3,40 +3,39 @@
 // callbacks on a single Queue; the simulation advances by executing
 // events in (cycle, insertion-order) order, which makes every run
 // bit-for-bit reproducible for a given seed.
+//
+// The queue is a hand-rolled binary min-heap over a flat []item slice
+// rather than container/heap: the stdlib interface boxes every pushed
+// and popped element into an `any`, which made Push/Pop the two top
+// allocators in the whole-simulator heap profile. The flat heap keeps
+// steady-state scheduling allocation-free once the backing slice has
+// grown to the high-water mark.
 package event
-
-import "container/heap"
 
 // Func is a callback executed when its event fires.
 type Func func()
+
+// Func2 is a callback carrying two uint64 arguments. Scheduling with
+// At2/After2 lets hot paths pass small payloads (a sequence number, a
+// packed 8-byte value) without closing over them — a closure per event
+// is a heap allocation; a Func2 bound once and reused is not.
+type Func2 func(a, b uint64)
 
 type item struct {
 	cycle uint64
 	seq   uint64 // tie-breaker: FIFO among events at the same cycle
 	fn    Func
+	fn2   Func2
+	a, b  uint64
 }
 
-type itemHeap []item
-
-func (h itemHeap) Len() int { return len(h) }
-
-func (h itemHeap) Less(i, j int) bool {
-	if h[i].cycle != h[j].cycle {
-		return h[i].cycle < h[j].cycle
+// less orders items by (cycle, insertion seq). Both keys are unique per
+// item, so the order is total and independent of heap internals.
+func (it *item) less(other *item) bool {
+	if it.cycle != other.cycle {
+		return it.cycle < other.cycle
 	}
-	return h[i].seq < h[j].seq
-}
-
-func (h itemHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-
-func (h *itemHeap) Push(x any) { *h = append(*h, x.(item)) }
-
-func (h *itemHeap) Pop() any {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+	return it.seq < other.seq
 }
 
 // Queue is a discrete-event scheduler keyed by clock cycle.
@@ -44,7 +43,7 @@ func (h *itemHeap) Pop() any {
 type Queue struct {
 	now  uint64
 	seq  uint64
-	heap itemHeap
+	heap []item
 }
 
 // NewQueue returns an empty event queue at cycle 0.
@@ -56,6 +55,46 @@ func (q *Queue) Now() uint64 { return q.now }
 // Len reports the number of pending events.
 func (q *Queue) Len() int { return len(q.heap) }
 
+// push inserts it into the heap, sifting up to restore heap order.
+func (q *Queue) push(it item) {
+	q.heap = append(q.heap, it)
+	i := len(q.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.heap[i].less(&q.heap[parent]) {
+			break
+		}
+		q.heap[i], q.heap[parent] = q.heap[parent], q.heap[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the minimum item. Callers must check Len.
+func (q *Queue) pop() item {
+	top := q.heap[0]
+	n := len(q.heap) - 1
+	q.heap[0] = q.heap[n]
+	q.heap[n] = item{} // drop closure references for the GC
+	q.heap = q.heap[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		min := l
+		if r := l + 1; r < n && q.heap[r].less(&q.heap[l]) {
+			min = r
+		}
+		if !q.heap[min].less(&q.heap[i]) {
+			break
+		}
+		q.heap[i], q.heap[min] = q.heap[min], q.heap[i]
+		i = min
+	}
+	return top
+}
+
 // At schedules fn to run at the given absolute cycle. Scheduling in the
 // past (or at the current cycle) runs the event before time advances
 // again, preserving causality.
@@ -64,18 +103,39 @@ func (q *Queue) At(cycle uint64, fn Func) {
 		cycle = q.now
 	}
 	q.seq++
-	heap.Push(&q.heap, item{cycle: cycle, seq: q.seq, fn: fn})
+	q.push(item{cycle: cycle, seq: q.seq, fn: fn})
 }
 
 // After schedules fn to run delay cycles from now.
 func (q *Queue) After(delay uint64, fn Func) { q.At(q.now+delay, fn) }
 
+// At2 schedules fn(a, b) to run at the given absolute cycle, with the
+// same causality clamp as At. The arguments ride in the heap item, so a
+// long-lived fn (bound once at construction) schedules with zero
+// allocations.
+func (q *Queue) At2(cycle uint64, fn Func2, a, b uint64) {
+	if cycle < q.now {
+		cycle = q.now
+	}
+	q.seq++
+	q.push(item{cycle: cycle, seq: q.seq, fn2: fn, a: a, b: b})
+}
+
+// After2 schedules fn(a, b) to run delay cycles from now.
+func (q *Queue) After2(delay uint64, fn Func2, a, b uint64) {
+	q.At2(q.now+delay, fn, a, b)
+}
+
 // RunDue executes every event scheduled at or before the current cycle.
 // Events may schedule further events for the same cycle; those run too.
 func (q *Queue) RunDue() {
 	for len(q.heap) > 0 && q.heap[0].cycle <= q.now {
-		it := heap.Pop(&q.heap).(item)
-		it.fn()
+		it := q.pop()
+		if it.fn2 != nil {
+			it.fn2(it.a, it.b)
+		} else {
+			it.fn()
+		}
 	}
 }
 

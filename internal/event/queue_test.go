@@ -126,3 +126,116 @@ func TestQueueDrainRespectsMaxCycle(t *testing.T) {
 		t.Fatal("Drain skipped due event")
 	}
 }
+
+func TestQueueAt2InterleavesWithAt(t *testing.T) {
+	// Func2 events share the same (cycle, seq) total order as plain
+	// events — insertion order within a cycle is preserved across both
+	// scheduling forms.
+	q := NewQueue()
+	var got []uint64
+	rec2 := func(a, b uint64) { got = append(got, a*10+b) }
+	q.At(3, func() { got = append(got, 100) })
+	q.At2(3, rec2, 1, 1)
+	q.At(3, func() { got = append(got, 200) })
+	q.At2(2, rec2, 9, 9)
+	q.Drain(10)
+	want := []uint64{99, 100, 11, 200}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestQueueAt2PastClamps(t *testing.T) {
+	q := NewQueue()
+	q.AdvanceTo(20)
+	var a, b uint64
+	q.At2(3, func(x, y uint64) { a, b = x, y }, 7, 8)
+	q.RunDue()
+	if a != 7 || b != 8 {
+		t.Fatalf("At2 args = (%d,%d), want (7,8)", a, b)
+	}
+	if q.Now() != 20 {
+		t.Fatalf("Now = %d, want 20", q.Now())
+	}
+}
+
+func TestQueueRandomizedVsReference(t *testing.T) {
+	// Differential check of the hand-rolled heap against a trivially
+	// correct reference: stable-sort the same (cycle, seq) stream and
+	// require identical firing order, interleaving At and At2.
+	rng := rand.New(rand.NewSource(99))
+	q := NewQueue()
+	type ev struct{ cycle, seq uint64 }
+	var want []ev
+	var got []ev
+	for i := 0; i < 2000; i++ {
+		c := uint64(rng.Intn(300))
+		seq := uint64(i)
+		want = append(want, ev{c, seq})
+		if i%2 == 0 {
+			q.At(c, func() { got = append(got, ev{c, seq}) })
+		} else {
+			q.At2(c, func(a, b uint64) { got = append(got, ev{a, b}) }, c, seq)
+		}
+	}
+	sort.SliceStable(want, func(i, j int) bool { return want[i].cycle < want[j].cycle })
+	q.Drain(1 << 20)
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d fired as %+v, reference order wants %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestQueueSteadyStateZeroAlloc(t *testing.T) {
+	// Once the heap's backing slice has reached its high-water mark,
+	// schedule+fire via At2 must not allocate: this is the contract the
+	// cpu/memsys hot paths rely on.
+	q := NewQueue()
+	sink := uint64(0)
+	fn := func(a, b uint64) { sink += a + b }
+	for i := 0; i < 64; i++ { // grow the backing array first
+		q.After2(uint64(i%8), fn, 1, 2)
+	}
+	q.Drain(1 << 20)
+	if n := testing.AllocsPerRun(1000, func() {
+		for i := 0; i < 16; i++ {
+			q.After2(uint64(i%4), fn, uint64(i), 2)
+		}
+		q.Drain(1 << 30)
+	}); n != 0 {
+		t.Fatalf("steady-state schedule+drain allocates %v allocs/op, want 0", n)
+	}
+	_ = sink
+}
+
+func BenchmarkQueueAt(b *testing.B) {
+	q := NewQueue()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.After(uint64(i%16), fn)
+		if q.Len() > 1024 {
+			q.Drain(1 << 62)
+		}
+	}
+}
+
+func BenchmarkQueueAt2(b *testing.B) {
+	q := NewQueue()
+	fn := func(a, bb uint64) {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.After2(uint64(i%16), fn, 1, 2)
+		if q.Len() > 1024 {
+			q.Drain(1 << 62)
+		}
+	}
+}

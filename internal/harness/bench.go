@@ -34,15 +34,24 @@ type BenchReport struct {
 	WallSeconds    float64     `json:"wall_seconds"`
 	// CellSeconds is simulation time summed over cells actually run
 	// (cache hits contribute nothing).
-	CellSeconds     float64 `json:"cell_seconds"`
-	CellsRun        int     `json:"cells_run"`
-	CellsCached     int     `json:"cells_cached"`
+	CellSeconds float64 `json:"cell_seconds"`
+	CellsRun    int     `json:"cells_run"`
+	CellsCached int     `json:"cells_cached"`
 	// CacheCorrupt counts disk-cache entries that existed but failed to
 	// decode or validate; each one was resimulated. Nonzero means the
 	// cache directory is rotting (torn writes, version skew, bit flips)
 	// even though results stayed correct.
 	CacheCorrupt    int     `json:"cache_corrupt"`
 	ParallelSpeedup float64 `json:"parallel_speedup"`
+	// SimCycles is the total simulated cycles across freshly run cells;
+	// with CellSeconds it yields the harness's core throughput metrics:
+	// CellsPerSec (cells simulated per second of simulation time) and
+	// SimCyclesPerSec (simulated cycles per wall second of simulation).
+	// Both are zero on a fully cache-hot run — the perf gate skips the
+	// throughput check then, since no simulation work was measured.
+	SimCycles       uint64  `json:"sim_cycles"`
+	CellsPerSec     float64 `json:"cells_per_sec"`
+	SimCyclesPerSec float64 `json:"sim_cycles_per_sec"`
 }
 
 // BenchRecorder accumulates figure timings around a Runner. It is safe
@@ -83,6 +92,12 @@ func (b *BenchRecorder) Report() BenchReport {
 	if wall > 0 {
 		speedup = cell / wall
 	}
+	simCycles := b.r.cellCycles.Load()
+	var cellsPerSec, cyclesPerSec float64
+	if cell > 0 {
+		cellsPerSec = float64(cs.CellsRun) / cell
+		cyclesPerSec = float64(simCycles) / cell
+	}
 	return BenchReport{
 		HarnessVersion:  Version,
 		Workers:         b.r.workers(),
@@ -97,6 +112,9 @@ func (b *BenchRecorder) Report() BenchReport {
 		CellsCached:     int(cs.CellsCached),
 		CacheCorrupt:    int(cs.CacheCorrupt),
 		ParallelSpeedup: speedup,
+		SimCycles:       simCycles,
+		CellsPerSec:     cellsPerSec,
+		SimCyclesPerSec: cyclesPerSec,
 	}
 }
 

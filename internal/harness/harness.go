@@ -112,6 +112,7 @@ type Runner struct {
 
 	// Perf accounting for the BENCH_harness.json emitter.
 	cellNanos  atomic.Int64
+	cellCycles atomic.Uint64
 	cellsRun   atomic.Int64
 	cellsFromC atomic.Int64
 	// cacheCorrupt counts disk-cache entries that existed but failed to
@@ -311,6 +312,7 @@ func (r *Runner) simulate(b workload.Benchmark, cfg *config.Config, key, ckey st
 		EDP:    model.EDP(st, sys.Cycles),
 	}
 	r.cellNanos.Add(int64(time.Since(start)))
+	r.cellCycles.Add(sys.Cycles)
 	r.cellsRun.Add(1)
 	if tr != nil && r.OnTrace != nil {
 		r.OnTrace(key, tr)

@@ -10,6 +10,8 @@ package harness
 // fresh runs. Keeping it in one exported constant (instead of per-layer
 // copies) is what makes skew between those layers impossible.
 //
-// (v4: stat sets carry occupancy/latency histograms that must
-// round-trip through the cache.)
-const Version = "tusim-harness-4"
+// (v5: open-addressed/pooled hot-path containers; identical results by
+// construction — the differential rig proves it — but the bump keeps
+// the before/after byte-identity comparison honest by forcing fresh
+// simulation instead of serving pre-conversion cache entries.)
+const Version = "tusim-harness-5"

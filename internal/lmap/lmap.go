@@ -1,0 +1,246 @@
+// Package lmap provides the open-addressed line-map and slab pool that
+// back the simulator's hot per-line state (private cache lines, MSHRs,
+// write-back entries, directory entries). The built-in map[uint64]*T
+// these replaced paid an interface-free but still branchy runtime call
+// plus a heap allocation per inserted bucket chain; Map is a flat
+// power-of-two open-addressed table with linear probing and
+// backward-shift deletion, and Pool recycles entry structs through a
+// slab-backed free list, so steady-state simulation performs zero
+// allocations in these containers.
+//
+// Every Map/Pool can also run in *reference mode*, where Map delegates
+// to a plain map[uint64]*T and Pool hands out a freshly allocated,
+// zeroed struct on every Get (never recycling). The reference
+// implementations are the trivially correct originals; the differential
+// state-identity rig runs the whole simulator on both modes with
+// identical seeds and asserts identical state at every drain point.
+// Because reference Pools never reuse memory, any code path that fails
+// to reset a recycled struct's fields diverges immediately. Build with
+// `-tags tus_ref` to flip DefaultRef and run the entire test suite —
+// golden figures included — on the reference containers.
+package lmap
+
+// DefaultRef selects the container implementation for callers that do
+// not choose explicitly (config.Default consults it). It is false in
+// normal builds; the tus_ref build tag flips it to true.
+var DefaultRef = false
+
+// hash is the splitmix64 finalizer: line addresses are multiples of the
+// cache-line size, so the low bits carry no entropy and must be mixed
+// before masking.
+func hash(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// Map is an open-addressed uint64 → *T hash map. A nil value marks an
+// empty slot, so callers must never Put a nil pointer (Put panics).
+// The zero value of Map is NOT ready to use; construct with New or
+// NewRef.
+type Map[T any] struct {
+	keys []uint64
+	vals []*T
+	n    int
+	mask uint64
+	ref  map[uint64]*T // non-nil in reference mode
+}
+
+// New returns an empty map using the implementation selected by
+// DefaultRef.
+func New[T any]() *Map[T] { return NewRef[T](DefaultRef) }
+
+// NewRef returns an empty map; ref selects the reference (built-in
+// map) implementation instead of the open-addressed table.
+func NewRef[T any](ref bool) *Map[T] {
+	if ref {
+		return &Map[T]{ref: make(map[uint64]*T)}
+	}
+	const initCap = 16
+	return &Map[T]{
+		keys: make([]uint64, initCap),
+		vals: make([]*T, initCap),
+		mask: initCap - 1,
+	}
+}
+
+// Len reports the number of stored entries.
+func (m *Map[T]) Len() int {
+	if m.ref != nil {
+		return len(m.ref)
+	}
+	return m.n
+}
+
+// Get returns the value stored under k, or nil.
+func (m *Map[T]) Get(k uint64) *T {
+	if m.ref != nil {
+		return m.ref[k]
+	}
+	i := hash(k) & m.mask
+	for m.vals[i] != nil {
+		if m.keys[i] == k {
+			return m.vals[i]
+		}
+		i = (i + 1) & m.mask
+	}
+	return nil
+}
+
+// Put stores v under k, replacing any existing entry. v must be
+// non-nil (nil marks an empty slot).
+func (m *Map[T]) Put(k uint64, v *T) {
+	if v == nil {
+		panic("lmap: Put(nil)")
+	}
+	if m.ref != nil {
+		m.ref[k] = v
+		return
+	}
+	if m.n >= len(m.vals)*3/4 {
+		m.grow()
+	}
+	i := hash(k) & m.mask
+	for m.vals[i] != nil {
+		if m.keys[i] == k {
+			m.vals[i] = v
+			return
+		}
+		i = (i + 1) & m.mask
+	}
+	m.keys[i] = k
+	m.vals[i] = v
+	m.n++
+}
+
+// Delete removes the entry under k if present, using backward-shift
+// deletion (no tombstones, so probe chains never degrade).
+func (m *Map[T]) Delete(k uint64) {
+	if m.ref != nil {
+		delete(m.ref, k)
+		return
+	}
+	i := hash(k) & m.mask
+	for {
+		if m.vals[i] == nil {
+			return // not present
+		}
+		if m.keys[i] == k {
+			break
+		}
+		i = (i + 1) & m.mask
+	}
+	// Backward-shift: walk the probe chain after i, moving back any
+	// entry whose ideal slot means the vacancy would break its lookup.
+	j := i
+	for {
+		j = (j + 1) & m.mask
+		if m.vals[j] == nil {
+			break
+		}
+		h := hash(m.keys[j]) & m.mask
+		// Entry at j may move into the hole at i iff i lies on the
+		// cyclic probe path from h to j.
+		if (j > i && (h <= i || h > j)) || (j < i && h <= i && h > j) {
+			m.keys[i] = m.keys[j]
+			m.vals[i] = m.vals[j]
+			i = j
+		}
+	}
+	m.vals[i] = nil
+	m.n--
+}
+
+// Range calls fn for every entry. Iteration order is unspecified (and
+// differs between the two implementations): callers that let order
+// reach observable output must sort, exactly as they had to with the
+// built-in map.
+func (m *Map[T]) Range(fn func(k uint64, v *T)) {
+	if m.ref != nil {
+		for k, v := range m.ref {
+			fn(k, v)
+		}
+		return
+	}
+	for i, v := range m.vals {
+		if v != nil {
+			fn(m.keys[i], v)
+		}
+	}
+}
+
+func (m *Map[T]) grow() {
+	oldKeys, oldVals := m.keys, m.vals
+	cap2 := len(oldVals) * 2
+	m.keys = make([]uint64, cap2)
+	m.vals = make([]*T, cap2)
+	m.mask = uint64(cap2 - 1)
+	for i, v := range oldVals {
+		if v == nil {
+			continue
+		}
+		k := oldKeys[i]
+		j := hash(k) & m.mask
+		for m.vals[j] != nil {
+			j = (j + 1) & m.mask
+		}
+		m.keys[j] = k
+		m.vals[j] = v
+	}
+}
+
+// poolChunk is the slab granule: Pool allocates entry structs 64 at a
+// time so long-running simulations touch the allocator O(peak/64)
+// times instead of O(events).
+const poolChunk = 64
+
+// Pool is a slab-backed free-list allocator for entry structs. Get
+// returns a recycled struct when one is available; callers own the
+// reset discipline (Put does not zero, so slices inside T keep their
+// grown capacity across reuse). In reference mode Get always returns a
+// fresh zeroed struct and Put discards, which makes any missing reset
+// observable as a state divergence in the differential rig.
+type Pool[T any] struct {
+	free []*T
+	slab []T
+	ref  bool
+}
+
+// NewPool returns a pool using the implementation selected by
+// DefaultRef.
+func NewPool[T any]() *Pool[T] { return &Pool[T]{ref: DefaultRef} }
+
+// NewPoolRef returns a pool; ref selects always-fresh allocation.
+func NewPoolRef[T any](ref bool) *Pool[T] { return &Pool[T]{ref: ref} }
+
+// Get returns an entry struct. In fast mode the struct may be recycled
+// and must be fully reset by the caller before use.
+func (p *Pool[T]) Get() *T {
+	if p.ref {
+		return new(T)
+	}
+	if n := len(p.free); n > 0 {
+		v := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		return v
+	}
+	if len(p.slab) == 0 {
+		p.slab = make([]T, poolChunk)
+	}
+	v := &p.slab[0]
+	p.slab = p.slab[1:]
+	return v
+}
+
+// Put returns an entry struct to the free list. The caller must not
+// retain any reference to v afterwards.
+func (p *Pool[T]) Put(v *T) {
+	if p.ref || v == nil {
+		return
+	}
+	p.free = append(p.free, v)
+}

@@ -1,0 +1,12 @@
+//go:build tus_ref
+
+package lmap
+
+// Building with -tags tus_ref runs every Map and Pool constructed via
+// the DefaultRef-consulting constructors on the trivially correct
+// reference implementations (built-in map; always-fresh allocation).
+// `go test -tags tus_ref ./...` therefore replays the entire suite —
+// golden figures, chaos, model check — on the reference containers,
+// which is the mechanical observational-equivalence proof for the
+// open-addressed fast path.
+func init() { DefaultRef = true }

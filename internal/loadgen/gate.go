@@ -86,6 +86,18 @@ func GateBench(baseline, fresh harness.BenchReport, o GateOpts) []string {
 				fresh.WallSeconds, baseline.WallSeconds, fresh.WallSeconds/baseline.WallSeconds, o.MaxRatio))
 		}
 	}
+	// Simulator throughput (simulated cycles per second of simulation
+	// time) ratchets in the opposite direction of the timings above:
+	// LOWER is worse. Both sides must have measured fresh cells — a
+	// cache-hot run reports zero and proves nothing — and both must have
+	// spent enough simulation time to be above scheduler noise.
+	if baseline.SimCyclesPerSec > 0 && fresh.SimCyclesPerSec > 0 &&
+		baseline.CellSeconds >= o.FloorSeconds && fresh.CellSeconds >= o.FloorSeconds {
+		if fresh.SimCyclesPerSec < baseline.SimCyclesPerSec/o.MaxRatio {
+			out = append(out, fmt.Sprintf("sim_cycles_per_sec: %.3g vs baseline %.3g (%.1fx slowdown > %.1fx allowed)",
+				fresh.SimCyclesPerSec, baseline.SimCyclesPerSec, baseline.SimCyclesPerSec/fresh.SimCyclesPerSec, o.MaxRatio))
+		}
+	}
 	return out
 }
 

@@ -316,6 +316,55 @@ func TestGateBench(t *testing.T) {
 	}
 }
 
+func throughputRecord(cyclesPerSec, cellSeconds float64) harness.BenchReport {
+	rep := benchRecord(10.0, 13.0)
+	rep.SimCyclesPerSec = cyclesPerSec
+	rep.CellSeconds = cellSeconds
+	return rep
+}
+
+// TestGateBenchThroughput pins the sim_cycles_per_sec wire: a
+// throughput COLLAPSE fails (lower is worse, opposite polarity from
+// the timing wires), cache-hot zero readings and sub-floor simulation
+// time are exempt, and faster never fails.
+func TestGateBenchThroughput(t *testing.T) {
+	baseline := throughputRecord(2.0e6, 12.0)
+
+	if v := loadgen.GateBench(baseline, baseline, loadgen.GateOpts{}); len(v) != 0 {
+		t.Fatalf("identical throughput failed the gate: %v", v)
+	}
+	// 1.5x slower: within the 2x budget.
+	if v := loadgen.GateBench(baseline, throughputRecord(1.4e6, 12.0), loadgen.GateOpts{}); len(v) != 0 {
+		t.Fatalf("1.5x throughput drop failed the gate: %v", v)
+	}
+	// Higher throughput never fails.
+	if v := loadgen.GateBench(baseline, throughputRecord(6.0e6, 12.0), loadgen.GateOpts{}); len(v) != 0 {
+		t.Fatalf("faster simulator failed the gate: %v", v)
+	}
+	// A >2x collapse trips the wire.
+	v := loadgen.GateBench(baseline, throughputRecord(0.6e6, 12.0), loadgen.GateOpts{})
+	if len(v) != 1 || !strings.Contains(v[0], "sim_cycles_per_sec") {
+		t.Fatalf("3.3x throughput collapse: got %v, want one sim_cycles_per_sec violation", v)
+	}
+	// A fully cache-hot fresh run reports zero throughput — that is
+	// absence of evidence, not a regression.
+	if v := loadgen.GateBench(baseline, throughputRecord(0, 0), loadgen.GateOpts{}); len(v) != 0 {
+		t.Fatalf("cache-hot fresh run failed the gate: %v", v)
+	}
+	// Likewise a baseline with no measurement gates nothing.
+	if v := loadgen.GateBench(throughputRecord(0, 0), throughputRecord(0.6e6, 12.0), loadgen.GateOpts{}); len(v) != 0 {
+		t.Fatalf("unmeasured baseline failed the gate: %v", v)
+	}
+	// Sub-floor simulation time on either side is scheduler noise.
+	if v := loadgen.GateBench(baseline, throughputRecord(0.6e6, 0.01), loadgen.GateOpts{}); len(v) != 0 {
+		t.Fatalf("sub-floor cell_seconds failed the gate: %v", v)
+	}
+	// MaxRatio applies: at 4.0 the 3.3x collapse passes.
+	if v := loadgen.GateBench(baseline, throughputRecord(0.6e6, 12.0), loadgen.GateOpts{MaxRatio: 4.0}); len(v) != 0 {
+		t.Fatalf("3.3x collapse failed a 4x gate: %v", v)
+	}
+}
+
 func latReport(p99 uint64) loadgen.Report {
 	return loadgen.Report{
 		Endpoints: []loadgen.EndpointStats{

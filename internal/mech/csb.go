@@ -25,6 +25,9 @@ type CSB struct {
 
 	wcbs     *wcb.Set
 	flushing []*wcb.Buffer
+	// lineScratch backs the per-cycle lex-sorted line list of the group
+	// being flushed.
+	lineScratch []uint64
 	// requested marks the line currently being acquired for the group.
 	requested map[uint64]bool
 	idle      int
@@ -120,7 +123,11 @@ func (c *CSB) advanceFlush() {
 	if c.flushing == nil {
 		return
 	}
-	lines := wcb.Lines(c.flushing)
+	lines := c.lineScratch[:0]
+	for _, b := range c.flushing {
+		lines = append(lines, b.Line)
+	}
+	c.lineScratch = lines
 	// Issue permission requests in lex order but in parallel: the order
 	// in which RFOs *start* follows the global order (forward
 	// progress), while overlapping their latencies keeps the drain off

@@ -1,0 +1,184 @@
+package memsys
+
+import (
+	"testing"
+
+	"tusim/internal/config"
+	"tusim/internal/event"
+	"tusim/internal/stats"
+)
+
+// benchRig wires cores private hierarchies to one directory without the
+// testing.T helpers (benchmarks must not pay t.Helper on the hot path).
+func benchRig(cores int) *rig {
+	cfg := config.Default().WithCores(cores)
+	q := event.NewQueue()
+	mem := NewMemory()
+	st := stats.NewSet("sys")
+	dram := NewDRAM(q, cfg.DRAMLatency, cfg.DRAMMaxInFlight)
+	dir := NewDirectory(cfg, q, mem, dram, st)
+	ps := make([]*Private, cores)
+	for i := range ps {
+		ps[i] = NewPrivate(i, cfg, q, dir, stats.NewSet("p"))
+	}
+	dir.Attach(ps)
+	return &rig{cfg: cfg, q: q, mem: mem, dir: dir, ps: ps, st: st}
+}
+
+// warmLine pulls a line into the L1 in the requested writability.
+func (r *rig) warmLine(b *testing.B, line uint64, writable bool) {
+	b.Helper()
+	done := false
+	if writable {
+		if !r.ps[0].RequestWritable(line, false, true, func(ok bool) { done = ok }) {
+			b.Fatalf("RequestWritable(%#x) could not start", line)
+		}
+	} else {
+		if !r.ps[0].Load(line, 8, func([]byte) { done = true }) {
+			b.Fatalf("Load(%#x) could not start", line)
+		}
+	}
+	r.q.Drain(r.q.Now() + 1_000_000)
+	if !done {
+		b.Fatalf("warm of %#x never completed", line)
+	}
+}
+
+// BenchmarkL1LoadHit is the seq-based load path on a resident line —
+// the single hottest memsys operation in a simulation.
+func BenchmarkL1LoadHit(b *testing.B) {
+	r := benchRig(1)
+	p := r.ps[0]
+	const line = 0x4000
+	r.warmLine(b, line, false)
+	got := 0
+	p.LoadReply = func(seq, data uint64) { got++ }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !p.LoadSeq(line+uint64(i%8)*8, 8, uint64(i)) {
+			b.Fatal("load did not start")
+		}
+		r.q.Drain(r.q.Now() + 64)
+	}
+	if got != b.N {
+		b.Fatalf("completed %d of %d loads", got, b.N)
+	}
+}
+
+// BenchmarkL1StoreHit is a visible store into a held-writable line —
+// the baseline/CSB drain hot path.
+func BenchmarkL1StoreHit(b *testing.B) {
+	r := benchRig(1)
+	p := r.ps[0]
+	const line = 0x8000
+	r.warmLine(b, line, true)
+	buf := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !p.StoreVisible(line+uint64(i%8)*8, buf) {
+			b.Fatal("store missed a held-writable line")
+		}
+	}
+}
+
+// BenchmarkL1LoadMiss cycles a footprint larger than L1+L2, so loads
+// take the full MSHR → directory → LLC fill round trip.
+func BenchmarkL1LoadMiss(b *testing.B) {
+	r := benchRig(1)
+	p := r.ps[0]
+	// 4x the L2 line capacity: private levels cannot hold the set.
+	lines := 4 * r.cfg.L2.SizeBytes / r.cfg.L2.LineBytes
+	got := 0
+	p.LoadReply = func(seq, data uint64) { got++ }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr := (uint64(i%lines) << 6) + 0x100000
+		if !p.LoadSeq(addr, 8, uint64(i)) {
+			b.Fatal("load did not start")
+		}
+		r.q.Drain(r.q.Now() + 4096)
+	}
+	if got != b.N {
+		b.Fatalf("completed %d of %d loads", got, b.N)
+	}
+}
+
+// BenchmarkDirectoryProbe bounces write ownership of one line between
+// two cores: every request invalidates the other core's copy, so each
+// iteration pays a full directory probe round trip.
+func BenchmarkDirectoryProbe(b *testing.B) {
+	r := benchRig(2)
+	const line = 0xC000
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core := r.ps[i%2]
+		ok := false
+		if !core.RequestWritable(line, false, true, func(g bool) { ok = g }) {
+			b.Fatal("request did not start")
+		}
+		r.q.Drain(r.q.Now() + 1_000_000)
+		if !ok {
+			b.Fatal("ownership never granted")
+		}
+	}
+}
+
+// TestL1HitLoadZeroAlloc pins the tentpole invariant: the seq-based
+// load path on an L1 hit performs zero allocations end to end,
+// including the event-queue traffic that completes it.
+func TestL1HitLoadZeroAlloc(t *testing.T) {
+	r := benchRig(1)
+	p := r.ps[0]
+	const line = 0x4000
+	done := false
+	if !p.Load(line, 8, func([]byte) { done = true }) {
+		t.Fatal("warm load did not start")
+	}
+	r.q.Drain(r.q.Now() + 1_000_000)
+	if !done {
+		t.Fatal("warm load never completed")
+	}
+	p.LoadReply = func(seq, data uint64) {}
+	var i uint64
+	step := func() {
+		i++
+		if !p.LoadSeq(line, 8, i) {
+			t.Fatal("hit load did not start")
+		}
+		r.q.Drain(r.q.Now() + 64)
+	}
+	step() // settle event-queue heap capacity
+	if n := testing.AllocsPerRun(1000, step); n != 0 {
+		t.Fatalf("L1-hit load allocates %.1f allocs/op, want 0", n)
+	}
+}
+
+// TestL1HitStoreZeroAlloc pins the same invariant for the visible-store
+// hit path (the baseline drain's per-store work).
+func TestL1HitStoreZeroAlloc(t *testing.T) {
+	r := benchRig(1)
+	p := r.ps[0]
+	const line = 0x8000
+	granted := false
+	if !p.RequestWritable(line, false, true, func(ok bool) { granted = ok }) {
+		t.Fatal("warm request did not start")
+	}
+	r.q.Drain(r.q.Now() + 1_000_000)
+	if !granted {
+		t.Fatal("warm request never granted")
+	}
+	buf := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	step := func() {
+		if !p.StoreVisible(line+8, buf) {
+			t.Fatal("store missed a held-writable line")
+		}
+	}
+	step()
+	if n := testing.AllocsPerRun(1000, step); n != 0 {
+		t.Fatalf("L1-hit store allocates %.1f allocs/op, want 0", n)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"tusim/internal/config"
 	"tusim/internal/event"
 	"tusim/internal/faults"
+	"tusim/internal/lmap"
 	"tusim/internal/stats"
 	"tusim/internal/trace"
 )
@@ -24,8 +25,9 @@ type Directory struct {
 
 	privates []*Private
 
-	entries map[uint64]*dirEntry
-	sets    map[uint64][]*dirEntry
+	entries *lmap.Map[dirEntry]
+	pool    *lmap.Pool[dirEntry]
+	sets    [][]*dirEntry
 	ways    int
 
 	reqLat uint64 // one-way private-L2 <-> LLC latency
@@ -79,7 +81,7 @@ const dirQueueCap = 24
 // BusyInfo reports whether a line's directory entry is busy and since
 // when (debugging aid).
 func (d *Directory) BusyInfo(line uint64) (bool, uint64) {
-	if e, ok := d.entries[line&LineMask]; ok {
+	if e := d.entries.Get(line & LineMask); e != nil {
 		return e.busy, e.busySince
 	}
 	return false, 0
@@ -87,14 +89,16 @@ func (d *Directory) BusyInfo(line uint64) (bool, uint64) {
 
 // NewDirectory builds the LLC+directory.
 func NewDirectory(cfg *config.Config, q *event.Queue, mem *Memory, dram *DRAM, st *stats.Set) *Directory {
+	ref := cfg.RefContainers || lmap.DefaultRef
 	d := &Directory{
 		cfg:     cfg,
 		q:       q,
 		mem:     mem,
 		dram:    dram,
 		st:      st,
-		entries: make(map[uint64]*dirEntry),
-		sets:    make(map[uint64][]*dirEntry),
+		entries: lmap.NewRef[dirEntry](ref),
+		pool:    lmap.NewPoolRef[dirEntry](ref),
+		sets:    make([][]*dirEntry, cfg.L3.Sets()),
 		ways:    cfg.L3.Ways,
 		reqLat:  cfg.L3.Latency / 2,
 		netLat:  cfg.NetLatency,
@@ -126,7 +130,7 @@ func (d *Directory) set(line uint64) uint64 { return (line >> 6) % uint64(d.cfg.
 // Allocation may evict an un-cached-above victim; if every way is
 // pinned the set temporarily overflows (counted, never fatal).
 func (d *Directory) entry(line uint64) *dirEntry {
-	if e, ok := d.entries[line]; ok {
+	if e := d.entries.Get(line); e != nil {
 		return e
 	}
 	s := d.set(line)
@@ -147,16 +151,18 @@ func (d *Directory) entry(line uint64) *dirEntry {
 				d.mem.WriteLine(victim.line, &victim.data)
 				d.dram.Accesses++
 			}
-			delete(d.entries, victim.line)
+			d.entries.Delete(victim.line)
 			d.sets[s] = removeDir(d.sets[s], victim)
+			d.pool.Put(victim)
 		} else {
 			d.cOverflow.Inc()
 			d.cRecallFail.Inc()
 			d.tr.Emit(trace.DirRecall, dirTraceCore, d.q.Now(), line, 0, 0)
 		}
 	}
-	e := &dirEntry{line: line, owner: -1}
-	d.entries[line] = e
+	e := d.pool.Get()
+	*e = dirEntry{line: line, owner: -1, waiting: e.waiting[:0]}
+	d.entries.Put(line, e)
 	d.sets[s] = append(d.sets[s], e)
 	d.lruTick++
 	e.lru = d.lruTick
@@ -186,7 +192,7 @@ var DebugLine uint64
 
 func (d *Directory) handle(src int, line uint64, wantM, lowLane bool, cb func(ok bool, data *LineData, excl bool)) {
 	if DebugLine != 0 && line == DebugLine {
-		e := d.entries[line]
+		e := d.entries.Get(line)
 		o, b := -1, false
 		if e != nil {
 			o, b = e.owner, e.busy
@@ -409,7 +415,7 @@ func (d *Directory) WriteBack(src int, line uint64, data *LineData, cb func(ok b
 
 // OwnerOf reports the directory's notion of a line's owner (tests).
 func (d *Directory) OwnerOf(line uint64) int {
-	if e, ok := d.entries[line&LineMask]; ok {
+	if e := d.entries.Get(line & LineMask); e != nil {
 		return e.owner
 	}
 	return -1
@@ -418,7 +424,7 @@ func (d *Directory) OwnerOf(line uint64) int {
 // LLCData returns the LLC's copy of a line if present with valid data
 // (tests and coherent-view reads).
 func (d *Directory) LLCData(line uint64) *LineData {
-	if e, ok := d.entries[line&LineMask]; ok && e.hasData {
+	if e := d.entries.Get(line & LineMask); e != nil && e.hasData {
 		return &e.data
 	}
 	return nil
@@ -426,7 +432,7 @@ func (d *Directory) LLCData(line uint64) *LineData {
 
 // SharersOf reports the sharer bitmask (tests).
 func (d *Directory) SharersOf(line uint64) uint64 {
-	if e, ok := d.entries[line&LineMask]; ok {
+	if e := d.entries.Get(line & LineMask); e != nil {
 		return e.sharers
 	}
 	return 0
@@ -437,21 +443,19 @@ func (d *Directory) SharersOf(line uint64) uint64 {
 // AuditEntries visits every directory entry in ascending line order
 // (sorted for deterministic auditor reports).
 func (d *Directory) AuditEntries(visit func(line uint64, owner int, sharers uint64, busy bool, busySince uint64)) {
-	keys := make([]uint64, 0, len(d.entries))
-	for k := range d.entries {
-		keys = append(keys, k)
-	}
+	keys := make([]uint64, 0, d.entries.Len())
+	d.entries.Range(func(k uint64, _ *dirEntry) { keys = append(keys, k) })
 	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
 	for _, k := range keys {
-		e := d.entries[k]
+		e := d.entries.Get(k)
 		visit(e.line, e.owner, e.sharers, e.busy, e.busySince)
 	}
 }
 
 // EntryInfo reports a line's directory bookkeeping (auditor use).
 func (d *Directory) EntryInfo(line uint64) (owner int, sharers uint64, busy bool, ok bool) {
-	e, ok := d.entries[line&LineMask]
-	if !ok {
+	e := d.entries.Get(line & LineMask)
+	if e == nil {
 		return -1, 0, false, false
 	}
 	return e.owner, e.sharers, e.busy, true
@@ -462,8 +466,8 @@ func (d *Directory) EntryInfo(line uint64) (owner int, sharers uint64, busy bool
 // believes nobody does, which the single-writer audit must flag. Busy
 // lines are skipped (their owner field is mid-transaction by design).
 func (d *Directory) SabotageDropOwner(line uint64) bool {
-	e, ok := d.entries[line&LineMask]
-	if !ok || e.busy || e.owner < 0 {
+	e := d.entries.Get(line & LineMask)
+	if e == nil || e.busy || e.owner < 0 {
 		return false
 	}
 	e.owner = -1

@@ -6,6 +6,7 @@ import (
 	"tusim/internal/config"
 	"tusim/internal/event"
 	"tusim/internal/faults"
+	"tusim/internal/lmap"
 	"tusim/internal/stats"
 	"tusim/internal/trace"
 )
@@ -51,8 +52,14 @@ type PLine struct {
 	loadWaiters []loadWait
 }
 
+// loadWait is one pending read. The hot (core) path identifies the load
+// by seq and is answered through the set-once LoadReply callback with
+// the bytes packed little-endian into a uint64 — no per-load closure,
+// no per-load []byte. cb, when non-nil, overrides that with a one-off
+// callback (test rigs and diagnostics).
 type loadWait struct {
 	addr uint64
+	seq  uint64
 	size uint8
 	cb   func([]byte)
 }
@@ -138,6 +145,11 @@ type UnauthorizedHandler interface {
 
 // Private models one core's L1D + private L2 (both write-back,
 // write-allocate, L1D inclusive in L2 — Table I).
+//
+// Per-line state (lines, MSHRs, writeback buffer) lives in lmap
+// open-addressed tables with slab-pooled entry structs, so the
+// steady-state hit/miss machinery allocates nothing; see package lmap
+// for the reference-mode escape hatch the differential rig uses.
 type Private struct {
 	ID  int
 	cfg *config.Config
@@ -145,17 +157,20 @@ type Private struct {
 	dir *Directory
 	st  *stats.Set
 
-	lines  map[uint64]*PLine
-	l1Sets [][]*PLine
-	l2Sets [][]*PLine
+	lines    *lmap.Map[PLine]
+	linePool *lmap.Pool[PLine]
+	l1Sets   [][]*PLine
+	l2Sets   [][]*PLine
 
-	mshrs     map[uint64]*mshrEntry
+	mshrs     *lmap.Map[mshrEntry]
+	mshrPool  *lmap.Pool[mshrEntry]
 	mshrLimit int
 	// prefetch MSHRs live in their own pool so speculative traffic
 	// never blocks demand misses.
 	prefMSHRs     int
 	prefMSHRLimit int
-	wb            map[uint64]*wbEntry
+	wb            *lmap.Map[wbEntry]
+	wbPool        *lmap.Pool[wbEntry]
 
 	handler UnauthorizedHandler
 	lruTick uint64
@@ -175,6 +190,11 @@ type Private struct {
 	// directory sharer lists are imprecise. The core's memory-order
 	// buffer subscribes to snoop already-bound loads.
 	OnLineLost func(line uint64)
+	// LoadReply answers LoadSeq reads: seq identifies the load, data
+	// carries the bytes packed little-endian. Set once at wiring time
+	// (the core installs its reply handler); scheduling replies through
+	// this long-lived func is what keeps the load path closure-free.
+	LoadReply func(seq, data uint64)
 
 	cL1Hit, cL1Miss, cL2Hit, cL2Miss   *stats.Counter
 	cL1Write, cL2Update, cWriteback    *stats.Counter
@@ -188,19 +208,23 @@ type Private struct {
 
 // NewPrivate builds the private hierarchy for core id.
 func NewPrivate(id int, cfg *config.Config, q *event.Queue, dir *Directory, st *stats.Set) *Private {
+	ref := cfg.RefContainers || lmap.DefaultRef
 	p := &Private{
 		ID:            id,
 		cfg:           cfg,
 		q:             q,
 		dir:           dir,
 		st:            st,
-		lines:         make(map[uint64]*PLine),
+		lines:         lmap.NewRef[PLine](ref),
+		linePool:      lmap.NewPoolRef[PLine](ref),
 		l1Sets:        make([][]*PLine, cfg.L1D.Sets()),
 		l2Sets:        make([][]*PLine, cfg.L2.Sets()),
-		mshrs:         make(map[uint64]*mshrEntry),
+		mshrs:         lmap.NewRef[mshrEntry](ref),
+		mshrPool:      lmap.NewPoolRef[mshrEntry](ref),
 		mshrLimit:     cfg.L1D.MSHRs,
 		prefMSHRLimit: cfg.L1D.MSHRs / 2,
-		wb:            make(map[uint64]*wbEntry),
+		wb:            lmap.NewRef[wbEntry](ref),
+		wbPool:        lmap.NewPoolRef[wbEntry](ref),
 	}
 	p.cL1Hit = st.Counter("l1d_hits")
 	p.cL1Miss = st.Counter("l1d_misses")
@@ -222,11 +246,28 @@ func NewPrivate(id int, cfg *config.Config, q *event.Queue, dir *Directory, st *
 // SetTracer attaches (or detaches, with nil) the lifecycle tracer.
 func (p *Private) SetTracer(t *trace.Tracer) { p.tr = t }
 
+// newLine allocates (from the slab pool) and registers a fully reset
+// PLine. The loadWaiters slice keeps its grown capacity across reuse.
+func (p *Private) newLine(line uint64) *PLine {
+	pl := p.linePool.Get()
+	*pl = PLine{Line: line, loadWaiters: pl.loadWaiters[:0]}
+	p.lines.Put(line, pl)
+	return pl
+}
+
+// newMSHR allocates a fully reset miss entry; callers set the request
+// flags. loads/writeCbs keep their capacity across reuse.
+func (p *Private) newMSHR(line uint64) *mshrEntry {
+	m := p.mshrPool.Get()
+	*m = mshrEntry{line: line, born: p.q.Now(), loads: m.loads[:0], writeCbs: m.writeCbs[:0]}
+	return m
+}
+
 // noteMSHRAlloc observes a fresh MSHR allocation (occupancy includes
 // the new entry; both demand and prefetch pools count).
 func (p *Private) noteMSHRAlloc(line uint64) {
-	p.hMSHROcc.Observe(uint64(len(p.mshrs)))
-	p.tr.Emit(trace.MSHRAlloc, int32(p.ID), p.q.Now(), line, 0, uint64(len(p.mshrs)))
+	p.hMSHROcc.Observe(uint64(p.mshrs.Len()))
+	p.tr.Emit(trace.MSHRAlloc, int32(p.ID), p.q.Now(), line, 0, uint64(p.mshrs.Len()))
 }
 
 // SetHandler installs the TUS handler. Must be called before simulation.
@@ -244,11 +285,11 @@ func (p *Private) l1Set(line uint64) int { return int((line >> 6) % uint64(len(p
 func (p *Private) l2Set(line uint64) int { return int((line >> 6) % uint64(len(p.l2Sets))) }
 
 // Lookup returns the private line state, or nil if untracked.
-func (p *Private) Lookup(line uint64) *PLine { return p.lines[line&LineMask] }
+func (p *Private) Lookup(line uint64) *PLine { return p.lines.Get(line & LineMask) }
 
 // Writable reports whether the hierarchy holds E or M permission.
 func (p *Private) Writable(line uint64) bool {
-	pl := p.lines[line&LineMask]
+	pl := p.lines.Get(line & LineMask)
 	return pl != nil && (pl.State == StateE || pl.State == StateM)
 }
 
@@ -258,7 +299,7 @@ func (p *Private) MSHRFree() bool {
 		p.cFaultMSHR.Inc()
 		return false
 	}
-	return len(p.mshrs)-p.prefMSHRs < p.mshrLimit
+	return p.mshrs.Len()-p.prefMSHRs < p.mshrLimit
 }
 
 func (p *Private) touch1(pl *PLine) { p.lruTick++; pl.lru1 = p.lruTick }
@@ -266,13 +307,45 @@ func (p *Private) touch2(pl *PLine) { p.lruTick++; pl.lru2 = p.lruTick }
 
 // ---------- Loads ----------
 
+// reply answers one pending load after delay cycles (synchronously when
+// delay is 0, matching the fill path's in-event delivery). Seq-path
+// replies ride the two-arg event form, so a hit schedules nothing on
+// the heap beyond the preallocated item slot.
+func (p *Private) reply(lw loadWait, src *LineData, delay uint64) {
+	if lw.cb != nil {
+		data := extract(src, lw.addr, lw.size)
+		if delay == 0 {
+			lw.cb(data)
+		} else {
+			p.q.After(delay, func() { lw.cb(data) })
+		}
+		return
+	}
+	packed := extractPacked(src, lw.addr, lw.size)
+	if delay == 0 {
+		p.LoadReply(lw.seq, packed)
+	} else {
+		p.q.After2(delay, p.LoadReply, lw.seq, packed)
+	}
+}
+
 // Load performs a timed read of size bytes at addr. cb receives the
 // data when the access completes. It returns false when the access
 // cannot even start (MSHRs full); the caller retries next cycle.
 func (p *Private) Load(addr uint64, size uint8, cb func([]byte)) bool {
-	line := addr & LineMask
+	return p.load(loadWait{addr: addr, size: size, cb: cb})
+}
+
+// LoadSeq is the allocation-free form of Load used by the core's issue
+// path: the read is identified by seq and answered through LoadReply.
+func (p *Private) LoadSeq(addr uint64, size uint8, seq uint64) bool {
+	return p.load(loadWait{addr: addr, size: size, seq: seq})
+}
+
+func (p *Private) load(lw loadWait) bool {
+	line := lw.addr & LineMask
 	p.cLoads.Inc()
-	pl := p.lines[line]
+	pl := p.lines.Get(line)
 
 	if pl != nil && pl.InL1 && pl.NotVisible && !pl.Ready {
 		// Unauthorized data without permission. When the written-byte
@@ -280,22 +353,20 @@ func (p *Private) Load(addr uint64, size uint8, cb func([]byte)) bool {
 		// Sec. IV option, realized via a WOQ mask search); otherwise
 		// the load is aliased to the line and serviced when the write
 		// permission arrives.
-		want := MaskFor(addr, size)
+		want := MaskFor(lw.addr, lw.size)
 		if pl.UMask.Covers(want) {
 			p.st.Counter("woq_searches").Inc()
 			p.cL1Hit.Inc()
-			data := extract(&pl.L1Data, addr, size)
-			p.q.After(p.cfg.L1D.Latency, func() { cb(data) })
+			p.reply(lw, &pl.L1Data, p.cfg.L1D.Latency)
 			return true
 		}
-		pl.loadWaiters = append(pl.loadWaiters, loadWait{addr, size, cb})
+		pl.loadWaiters = append(pl.loadWaiters, lw)
 		return true
 	}
 	if pl != nil && pl.InL1 && pl.State != StateI {
 		p.cL1Hit.Inc()
 		p.touch1(pl)
-		data := extract(&pl.L1Data, addr, size)
-		p.q.After(p.cfg.L1D.Latency, func() { cb(data) })
+		p.reply(lw, &pl.L1Data, p.cfg.L1D.Latency)
 		return true
 	}
 	if pl != nil && pl.InL2 && pl.State != StateI {
@@ -307,13 +378,12 @@ func (p *Private) Load(addr uint64, size uint8, cb func([]byte)) bool {
 			pl.L1Dirty = false
 		}
 		p.touch2(pl)
-		data := extract(&pl.L2Data, addr, size)
-		p.q.After(p.cfg.L2.Latency, func() { cb(data) })
+		p.reply(lw, &pl.L2Data, p.cfg.L2.Latency)
 		return true
 	}
 	// Full miss.
-	if m := p.mshrs[line]; m != nil {
-		m.loads = append(m.loads, loadWait{addr, size, cb})
+	if m := p.mshrs.Get(line); m != nil {
+		m.loads = append(m.loads, lw)
 		return true
 	}
 	if !p.MSHRFree() {
@@ -322,11 +392,12 @@ func (p *Private) Load(addr uint64, size uint8, cb func([]byte)) bool {
 	p.cL1Miss.Inc()
 	p.cL2Miss.Inc()
 	if p.OnDemandMiss != nil {
-		p.OnDemandMiss(addr, false)
+		p.OnDemandMiss(lw.addr, false)
 	}
-	m := &mshrEntry{line: line, born: p.q.Now(), wantM: false, autoRetry: true}
-	m.loads = append(m.loads, loadWait{addr, size, cb})
-	p.mshrs[line] = m
+	m := p.newMSHR(line)
+	m.autoRetry = true
+	m.loads = append(m.loads, lw)
+	p.mshrs.Put(line, m)
 	p.noteMSHRAlloc(line)
 	p.send(m)
 	return true
@@ -337,11 +408,11 @@ func (p *Private) Load(addr uint64, size uint8, cb func([]byte)) bool {
 // never observe the demand-miss stream (no prefetcher feedback loops).
 func (p *Private) PrefetchRead(line uint64) bool {
 	line &= LineMask
-	pl := p.lines[line]
+	pl := p.lines.Get(line)
 	if pl != nil && ((pl.InL1 || pl.InL2) && pl.State != StateI || pl.NotVisible) {
 		return false
 	}
-	if p.mshrs[line] != nil {
+	if p.mshrs.Get(line) != nil {
 		return false
 	}
 	if p.prefMSHRs >= p.prefMSHRLimit {
@@ -349,8 +420,10 @@ func (p *Private) PrefetchRead(line uint64) bool {
 		return false
 	}
 	p.cL2Miss.Inc()
-	m := &mshrEntry{line: line, born: p.q.Now(), autoRetry: false, prefetch: true, lowLane: true}
-	p.mshrs[line] = m
+	m := p.newMSHR(line)
+	m.prefetch = true
+	m.lowLane = true
+	p.mshrs.Put(line, m)
 	p.prefMSHRs++
 	p.noteMSHRAlloc(line)
 	p.send(m)
@@ -373,7 +446,7 @@ func (p *Private) RequestWritable(line uint64, prefetch, autoRetry bool, cb func
 		}
 		return true
 	}
-	if m := p.mshrs[line]; m != nil {
+	if m := p.mshrs.Get(line); m != nil {
 		if !m.wantM {
 			m.upgradeM = true
 		}
@@ -392,11 +465,14 @@ func (p *Private) RequestWritable(line uint64, prefetch, autoRetry bool, cb func
 		return false
 	}
 	p.cL2Miss.Inc()
-	m := &mshrEntry{line: line, born: p.q.Now(), wantM: true, autoRetry: autoRetry, prefetch: prefetch}
+	m := p.newMSHR(line)
+	m.wantM = true
+	m.autoRetry = autoRetry
+	m.prefetch = prefetch
 	if cb != nil {
 		m.writeCbs = append(m.writeCbs, cb)
 	}
-	p.mshrs[line] = m
+	p.mshrs.Put(line, m)
 	if prefetch {
 		p.prefMSHRs++
 	}
@@ -419,21 +495,26 @@ func (p *Private) send(m *mshrEntry) {
 			// Pending loads must not be dropped: reissue as a fresh
 			// auto-retried read request.
 			if len(m.loads) > 0 {
-				m2 := &mshrEntry{line: m.line, born: p.q.Now(), wantM: false, autoRetry: true, loads: m.loads}
-				p.mshrs[m.line] = m2
-				p.noteMSHRAlloc(m.line)
+				m2 := p.newMSHR(m.line)
+				m2.autoRetry = true
+				m2.loads, m.loads = m.loads, m2.loads
+				p.mshrs.Put(m2.line, m2)
+				p.noteMSHRAlloc(m2.line)
 				p.send(m2)
 			}
+			p.mshrPool.Put(m)
 			return
 		}
 		p.fill(m, data, excl)
 	})
 }
 
-// freeMSHR retires an MSHR, returning its pool slot.
+// freeMSHR retires an MSHR, removing it from the tracking table. The
+// struct itself returns to the pool at the caller's terminal point
+// (after its loads/writeCbs have been consumed).
 func (p *Private) freeMSHR(m *mshrEntry) {
-	if p.mshrs[m.line] == m {
-		delete(p.mshrs, m.line)
+	if p.mshrs.Get(m.line) == m {
+		p.mshrs.Delete(m.line)
 		now := p.q.Now()
 		var lat uint64
 		if now >= m.born {
@@ -449,10 +530,9 @@ func (p *Private) freeMSHR(m *mshrEntry) {
 // fill applies a directory response. Runs inside the response event.
 func (p *Private) fill(m *mshrEntry, data *LineData, excl bool) {
 	line := m.line
-	pl := p.lines[line]
+	pl := p.lines.Get(line)
 	if pl == nil {
-		pl = &PLine{Line: line}
-		p.lines[line] = pl
+		pl = p.newLine(line)
 	}
 	// Allocate in the private L2 (inclusive point).
 	if !pl.InL2 {
@@ -519,15 +599,18 @@ func (p *Private) fill(m *mshrEntry, data *LineData, excl bool) {
 		if pl.InL1 {
 			src = &pl.L1Data
 		}
-		lw.cb(extract(src, lw.addr, lw.size))
+		p.reply(lw, src, 0)
 	}
 
 	if m.upgradeM && pl.State == StateS {
 		// A writable request piggybacked on an in-flight read: the read
 		// was granted shared, so chase it with a proper GetM carrying
 		// the write callbacks forward.
-		m2 := &mshrEntry{line: line, born: p.q.Now(), wantM: true, autoRetry: true, writeCbs: m.writeCbs}
-		p.mshrs[line] = m2
+		m2 := p.newMSHR(line)
+		m2.wantM = true
+		m2.autoRetry = true
+		m2.writeCbs, m.writeCbs = m.writeCbs, m2.writeCbs
+		p.mshrs.Put(line, m2)
 		p.noteMSHRAlloc(line)
 		p.send(m2)
 	} else {
@@ -536,6 +619,7 @@ func (p *Private) fill(m *mshrEntry, data *LineData, excl bool) {
 		}
 	}
 	p.wakeLoadWaiters(pl)
+	p.mshrPool.Put(m)
 }
 
 func (p *Private) wakeLoadWaiters(pl *PLine) {
@@ -543,11 +627,9 @@ func (p *Private) wakeLoadWaiters(pl *PLine) {
 		return
 	}
 	ws := pl.loadWaiters
-	pl.loadWaiters = nil
+	pl.loadWaiters = nil // not [:0]: replies may re-append while we iterate
 	for _, lw := range ws {
-		lw := lw
-		data := extract(&pl.L1Data, lw.addr, lw.size)
-		p.q.After(p.cfg.L1D.Latency, func() { lw.cb(data) })
+		p.reply(lw, &pl.L1Data, p.cfg.L1D.Latency)
 	}
 }
 
@@ -558,7 +640,7 @@ func (p *Private) wakeLoadWaiters(pl *PLine) {
 // the line is not writable or not allocatable in L1.
 func (p *Private) StoreVisible(addr uint64, data []byte) bool {
 	line := addr & LineMask
-	pl := p.lines[line]
+	pl := p.lines.Get(line)
 	if pl == nil || (pl.State != StateE && pl.State != StateM) {
 		return false
 	}
@@ -591,7 +673,7 @@ func (p *Private) StoreVisible(addr uint64, data []byte) bool {
 // is not writable or not allocatable in L1.
 func (p *Private) StoreVisibleLine(line uint64, data *LineData, mask Mask) bool {
 	line &= LineMask
-	pl := p.lines[line]
+	pl := p.lines.Get(line)
 	if pl == nil || (pl.State != StateE && pl.State != StateM) {
 		return false
 	}
@@ -624,10 +706,9 @@ func (p *Private) StoreVisibleLine(line uint64, data *LineData, mask Mask) bool 
 // when a WCB flushes a coalesced group into the L1D.
 func (p *Private) StoreUnauthorizedLine(line uint64, data *LineData, mask Mask) bool {
 	line &= LineMask
-	pl := p.lines[line]
+	pl := p.lines.Get(line)
 	if pl == nil {
-		pl = &PLine{Line: line}
-		p.lines[line] = pl
+		pl = p.newLine(line)
 	}
 	if !pl.InL1 {
 		if !p.allocL1(pl) {
@@ -654,7 +735,7 @@ func (p *Private) StoreUnauthorizedLine(line uint64, data *LineData, mask Mask) 
 // not-visible line (WOQ-level store cycle).
 func (p *Private) StoreUnauthorizedHitLine(line uint64, data *LineData, mask Mask) {
 	line &= LineMask
-	pl := p.lines[line]
+	pl := p.lines.Get(line)
 	if pl == nil || !pl.NotVisible || !pl.InL1 {
 		panic(faults.Violationf("memsys", p.ID, line, "unauthorized-resident",
 			"StoreUnauthorizedHitLine on a line that is not an unauthorized L1 resident"))
@@ -668,7 +749,7 @@ func (p *Private) StoreUnauthorizedHitLine(line uint64, data *LineData, mask Mas
 // StoreOverVisibleLine is the line-granular "authorized hit" TUS path.
 func (p *Private) StoreOverVisibleLine(line uint64, data *LineData, mask Mask) bool {
 	line &= LineMask
-	pl := p.lines[line]
+	pl := p.lines.Get(line)
 	if pl == nil || (pl.State != StateE && pl.State != StateM) || pl.NotVisible {
 		return false
 	}
@@ -703,10 +784,9 @@ func (p *Private) StoreOverVisibleLine(line uint64, data *LineData, mask Mask) b
 // false when no L1 way can host the line.
 func (p *Private) StoreUnauthorized(addr uint64, data []byte) bool {
 	line := addr & LineMask
-	pl := p.lines[line]
+	pl := p.lines.Get(line)
 	if pl == nil {
-		pl = &PLine{Line: line}
-		p.lines[line] = pl
+		pl = p.newLine(line)
 	}
 	if !pl.InL1 {
 		if !p.allocL1(pl) {
@@ -735,7 +815,7 @@ func (p *Private) StoreUnauthorized(addr uint64, data []byte) bool {
 // verified the line is not visible.
 func (p *Private) StoreUnauthorizedHit(addr uint64, data []byte) {
 	line := addr & LineMask
-	pl := p.lines[line]
+	pl := p.lines.Get(line)
 	if pl == nil || !pl.NotVisible || !pl.InL1 {
 		panic(faults.Violationf("memsys", p.ID, line, "unauthorized-resident",
 			"StoreUnauthorizedHit on a line that is not an unauthorized L1 resident"))
@@ -753,7 +833,7 @@ func (p *Private) StoreUnauthorizedHit(addr uint64, data []byte) {
 // are written and the line turns not-visible but ready.
 func (p *Private) StoreOverVisible(addr uint64, data []byte) bool {
 	line := addr & LineMask
-	pl := p.lines[line]
+	pl := p.lines.Get(line)
 	if pl == nil || (pl.State != StateE && pl.State != StateM) || pl.NotVisible {
 		return false
 	}
@@ -786,7 +866,7 @@ func (p *Private) StoreOverVisible(addr uint64, data []byte) bool {
 // MakeVisible flips a ready not-visible line into an ordinary modified
 // line, publishing its bytes to the coherent world.
 func (p *Private) MakeVisible(line uint64) {
-	pl := p.lines[line&LineMask]
+	pl := p.lines.Get(line & LineMask)
 	if pl == nil || !pl.NotVisible || !pl.Ready {
 		panic(faults.Violationf("memsys", p.ID, line&LineMask, "makevisible-ready",
 			"MakeVisible on a line that is not ready"))
@@ -817,7 +897,7 @@ func (p *Private) L1WaysAvailable(lines []uint64) bool {
 	need := map[int]int{}
 	for _, ln := range lines {
 		ln &= LineMask
-		pl := p.lines[ln]
+		pl := p.lines.Get(ln)
 		if pl != nil && pl.InL1 {
 			continue
 		}
@@ -839,7 +919,7 @@ func (p *Private) L1WaysAvailable(lines []uint64) bool {
 }
 
 func (p *Private) l1Evictable(pl *PLine) bool {
-	return !pl.NotVisible && p.mshrs[pl.Line] == nil && len(pl.loadWaiters) == 0
+	return !pl.NotVisible && p.mshrs.Get(pl.Line) == nil && len(pl.loadWaiters) == 0
 }
 
 // allocL1 places pl into its L1 set, evicting if needed. Returns false
@@ -899,7 +979,7 @@ func (p *Private) allocL2(pl *PLine) {
 	if len(ways) >= p.cfg.L2.Ways {
 		var victim *PLine
 		for _, w := range ways {
-			if w.NotVisible || p.mshrs[w.Line] != nil || len(w.loadWaiters) > 0 {
+			if w.NotVisible || p.mshrs.Get(w.Line) != nil || len(w.loadWaiters) > 0 {
 				continue // inclusive: cannot evict below a pinned L1 line
 			}
 			if victim == nil || w.lru2 < victim.lru2 {
@@ -944,13 +1024,15 @@ func (p *Private) dropL2(pl *PLine) {
 	pl.InL2 = false
 }
 
-// gc forgets a line that holds no state worth tracking.
+// gc forgets a line that holds no state worth tracking, returning the
+// struct to the slab pool.
 func (p *Private) gc(pl *PLine) {
 	if pl.InL1 || pl.InL2 || pl.NotVisible || pl.State != StateI ||
-		p.mshrs[pl.Line] != nil || len(pl.loadWaiters) > 0 {
+		p.mshrs.Get(pl.Line) != nil || len(pl.loadWaiters) > 0 {
 		return
 	}
-	delete(p.lines, pl.Line)
+	p.lines.Delete(pl.Line)
+	p.linePool.Put(pl)
 }
 
 func remove(s []*PLine, x *PLine) []*PLine {
@@ -967,12 +1049,17 @@ func remove(s []*PLine, x *PLine) []*PLine {
 // writeback buffer that external probes can also service.
 func (p *Private) writeBack(line uint64, data *LineData) {
 	p.cWriteback.Inc()
-	e := &wbEntry{data: *data}
-	p.wb[line] = e
+	e := p.wbPool.Get()
+	*e = wbEntry{data: *data}
+	p.wb.Put(line, e)
 	var try func()
+	done := func() {
+		p.wb.Delete(line)
+		p.wbPool.Put(e)
+	}
 	try = func() {
 		if e.retired {
-			delete(p.wb, line)
+			done()
 			return
 		}
 		p.dir.WriteBack(p.ID, line, &e.data, func(ok bool) {
@@ -980,7 +1067,7 @@ func (p *Private) writeBack(line uint64, data *LineData) {
 				p.q.After(p.cfg.NetLatency, try)
 				return
 			}
-			delete(p.wb, line)
+			done()
 		})
 	}
 	try()
@@ -996,13 +1083,13 @@ func (p *Private) Probe(line uint64, kind ProbeKind) ProbeReply {
 	if kind == ProbeInv && p.OnLineLost != nil {
 		p.OnLineLost(line)
 	}
-	if e, ok := p.wb[line]; ok {
+	if e := p.wb.Get(line); e != nil {
 		// The line was being written back; hand the data over directly.
 		e.retired = true
 		d := e.data
 		return ProbeReply{Result: ProbeAck, Data: &d}
 	}
-	pl := p.lines[line]
+	pl := p.lines.Get(line)
 	if pl == nil || (pl.State == StateI && !pl.NotVisible) {
 		return ProbeReply{Result: ProbeAck}
 	}
@@ -1078,28 +1165,24 @@ func (p *Private) evictL1noWB(pl *PLine) {
 // ---------- Audit / chaos hooks ----------
 
 // AuditLines visits every tracked line in ascending address order. The
-// sorted walk keeps auditor reports deterministic across runs (map
-// iteration order is randomized by the runtime).
+// sorted walk keeps auditor reports deterministic across runs (neither
+// map implementation has a meaningful iteration order).
 func (p *Private) AuditLines(visit func(pl *PLine)) {
-	keys := make([]uint64, 0, len(p.lines))
-	for k := range p.lines {
-		keys = append(keys, k)
-	}
+	keys := make([]uint64, 0, p.lines.Len())
+	p.lines.Range(func(k uint64, _ *PLine) { keys = append(keys, k) })
 	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
 	for _, k := range keys {
-		visit(p.lines[k])
+		visit(p.lines.Get(k))
 	}
 }
 
 // AuditMSHRs visits every in-flight miss in ascending line order.
 func (p *Private) AuditMSHRs(visit func(line, born uint64, wantM, prefetch bool)) {
-	keys := make([]uint64, 0, len(p.mshrs))
-	for k := range p.mshrs {
-		keys = append(keys, k)
-	}
+	keys := make([]uint64, 0, p.mshrs.Len())
+	p.mshrs.Range(func(k uint64, _ *mshrEntry) { keys = append(keys, k) })
 	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
 	for _, k := range keys {
-		m := p.mshrs[k]
+		m := p.mshrs.Get(k)
 		visit(m.line, m.born, m.wantM, m.prefetch)
 	}
 }
@@ -1107,12 +1190,11 @@ func (p *Private) AuditMSHRs(visit func(line, born uint64, wantM, prefetch bool)
 // WBPending reports whether line sits in the writeback buffer (its
 // directory state is transiently out of sync while the WB is in flight).
 func (p *Private) WBPending(line uint64) bool {
-	_, ok := p.wb[line&LineMask]
-	return ok
+	return p.wb.Get(line&LineMask) != nil
 }
 
 // MSHRPending reports whether a miss for line is in flight.
-func (p *Private) MSHRPending(line uint64) bool { return p.mshrs[line&LineMask] != nil }
+func (p *Private) MSHRPending(line uint64) bool { return p.mshrs.Get(line&LineMask) != nil }
 
 // SabotageHideLine deliberately corrupts state for crash-pipeline
 // testing: the lowest-addressed unauthorized (not-visible, not-ready)
@@ -1123,19 +1205,19 @@ func (p *Private) MSHRPending(line uint64) bool { return p.mshrs[line&LineMask] 
 func (p *Private) SabotageHideLine() (uint64, bool) {
 	var best uint64
 	found := false
-	for k, pl := range p.lines {
+	p.lines.Range(func(k uint64, pl *PLine) {
 		if !pl.NotVisible || pl.Ready || !pl.InL1 {
-			continue
+			return
 		}
 		if !found || k < best {
 			best = k
 			found = true
 		}
-	}
+	})
 	if !found {
 		return 0, false
 	}
-	pl := p.lines[best]
+	pl := p.lines.Get(best)
 	pl.NotVisible = false
 	pl.UMask = 0
 	return best, true
@@ -1147,4 +1229,17 @@ func extract(l *LineData, addr uint64, size uint8) []byte {
 	out := make([]byte, size)
 	copy(out, l[off:])
 	return out
+}
+
+// extractPacked packs size bytes at addr into a uint64, little-endian
+// (byte i of the line lands in bits 8i..8i+7, matching what copying
+// into a [8]byte and decoding with encoding/binary would produce). It
+// is the allocation-free twin of extract for the seq-based load path.
+func extractPacked(l *LineData, addr uint64, size uint8) uint64 {
+	off := addr & (LineBytes - 1)
+	var v uint64
+	for i := uint64(0); i < uint64(size); i++ {
+		v |= uint64(l[off+i]) << (8 * i)
+	}
+	return v
 }

@@ -1,0 +1,61 @@
+// Package prof wires the standard CPU/heap profilers behind the
+// -cpuprofile/-memprofile flags of the CLI tools. It exists so tusbench
+// and tusim share one flag contract and one shutdown ordering (stop the
+// CPU profile first, then snapshot the heap after a final GC), and so
+// main functions stay a two-line call.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins profiling per the two (possibly empty) file paths and
+// returns a stop function that finalizes whatever was started. Stop is
+// idempotent and safe to call on every exit path; with both paths empty
+// it does nothing.
+//
+// The heap profile is written at stop time — after a forced GC, so it
+// reflects live steady-state memory rather than transient garbage. For
+// allocation-site hunting, run the microbenchmarks with `go test
+// -memprofile` instead, which records alloc_objects across the run.
+func Start(cpuPath, memPath string) (func(), error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		cpuFile = f
+	}
+	stopped := false
+	stop := func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "prof:", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "prof:", err)
+			}
+			f.Close()
+		}
+	}
+	return stop, nil
+}

@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -525,6 +526,16 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleJobCancel)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	s.mux.HandleFunc("GET /v1/bench", s.handleBench)
+	// Live profiling of a running daemon: CPU/heap/goroutine profiles on
+	// the same mux as the operational endpoints (tusd binds loopback-ish
+	// harness ports, not the public internet). `go tool pprof
+	// http://host/debug/pprof/profile` while a figure job runs is the
+	// supported way to find simulator hot spots in situ.
+	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

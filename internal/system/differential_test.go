@@ -1,0 +1,65 @@
+package system
+
+import (
+	"testing"
+
+	"tusim/internal/config"
+	"tusim/internal/workload"
+)
+
+// TestRefContainersWholeSystemIdentity is the whole-machine half of the
+// differential state-identity rig (the memsys package holds the
+// per-drain-point half): every mechanism runs the same workload twice,
+// once on the open-addressed/pooled fast containers and once on the
+// reference containers, and the complete runs must agree on cycle
+// count and every statistic. Combined with `go test -tags tus_ref
+// ./...` — which replays the entire suite, golden figures included, on
+// the reference containers — this pins observational equivalence of
+// the two container implementations at full-system scale.
+func TestRefContainersWholeSystemIdentity(t *testing.T) {
+	run := func(t *testing.T, m config.Mechanism, bench string, threads bool, ref bool) (uint64, string) {
+		b, ok := workload.ByName(bench)
+		if !ok {
+			t.Fatalf("unknown benchmark %q", bench)
+		}
+		cfg := config.Default().WithMechanism(m)
+		if threads {
+			cfg = cfg.WithCores(b.Threads)
+		}
+		cfg.RefContainers = ref
+		ops := 6000
+		sys, err := New(cfg, b.Streams(3, ops))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys.WarmupOps = uint64(ops) * uint64(cfg.Cores) / 3
+		if err := sys.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return sys.Cycles, sys.StatsSum().String()
+	}
+
+	cases := []struct {
+		m       config.Mechanism
+		bench   string
+		threads bool
+	}{
+		{config.TUS, "502.gcc2", false},
+		{config.Baseline, "505.mcf", false},
+		{config.CSB, "502.gcc5", false},
+		{config.TUS, "fluidanimate", true}, // 16-core: directory + probe traffic
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.m.String()+"/"+tc.bench, func(t *testing.T) {
+			fastCycles, fastStats := run(t, tc.m, tc.bench, tc.threads, false)
+			refCycles, refStats := run(t, tc.m, tc.bench, tc.threads, true)
+			if fastCycles != refCycles {
+				t.Fatalf("cycle divergence: fast=%d ref=%d", fastCycles, refCycles)
+			}
+			if fastStats != refStats {
+				t.Fatalf("stats divergence:\nfast:\n%s\nref:\n%s", fastStats, refStats)
+			}
+		})
+	}
+}

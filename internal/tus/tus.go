@@ -15,6 +15,7 @@ import (
 	"tusim/internal/cpu"
 	"tusim/internal/event"
 	"tusim/internal/faults"
+	"tusim/internal/lmap"
 	"tusim/internal/memsys"
 	"tusim/internal/stats"
 	"tusim/internal/trace"
@@ -49,6 +50,10 @@ type flushItem struct {
 	mask memsys.Mask
 }
 
+// lexPair is one (lex key, line) seen while checking a candidate
+// atomic group for duplicate lex keys.
+type lexPair struct{ key, line uint64 }
+
 // TUS is the drain mechanism; it also implements
 // memsys.UnauthorizedHandler (the authorization unit + WOQ side).
 type TUS struct {
@@ -59,13 +64,19 @@ type TUS struct {
 
 	wcbs    *wcb.Set
 	woq     []*woqEntry
-	byLine  map[uint64]*woqEntry
+	byLine  *lmap.Map[woqEntry]
+	woqPool *lmap.Pool[woqEntry]
 	nextGID int
 
 	pending []flushItem   // group awaiting L1D/WOQ admission
 	pendBuf []*wcb.Buffer // WCB buffers backing the pending group (nil for bypass)
-	idle    int
-	faults  *faults.Injector
+	// Scratch backings reused across drain cycles (one outstanding
+	// group / admission attempt at a time).
+	flushScratch []flushItem
+	wayScratch   []uint64
+	lexScratch   []lexPair
+	idle         int
+	faults       *faults.Injector
 	// cFaultFlush counts injected early WCB flushes; allocated only when
 	// an injector is installed.
 	cFaultFlush *stats.Counter
@@ -91,13 +102,15 @@ const tusIdleFlush = 4
 // New builds the TUS mechanism for a core and registers it as the
 // private hierarchy's unauthorized handler.
 func New(core *cpu.Core, cfg *config.Config, q *event.Queue, st *stats.Set) *TUS {
+	ref := cfg.RefContainers || lmap.DefaultRef
 	t := &TUS{
 		core:           core,
 		priv:           core.Priv(),
 		cfg:            cfg,
 		q:              q,
 		wcbs:           wcb.NewSet(cfg.WCBCount, cfg.LexBits),
-		byLine:         make(map[uint64]*woqEntry),
+		byLine:         lmap.NewRef[woqEntry](ref),
+		woqPool:        lmap.NewPoolRef[woqEntry](ref),
 		cDrained:       st.Counter("stores_drained"),
 		cBlocked:       st.Counter("drain_blocked_cycles"),
 		cVisibleGroups: st.Counter("tus_visible_groups"),
@@ -211,10 +224,11 @@ func (t *TUS) startFlushOldest() {
 	if group == nil {
 		return
 	}
-	items := make([]flushItem, len(group))
-	for i, b := range group {
-		items[i] = flushItem{line: b.Line, data: b.Data, mask: b.Mask}
+	items := t.flushScratch[:0]
+	for _, b := range group {
+		items = append(items, flushItem{line: b.Line, data: b.Data, mask: b.Mask})
 	}
+	t.flushScratch = items
 	t.pending = items
 	t.pendBuf = group
 	t.tryAdmit()
@@ -230,12 +244,12 @@ func (t *TUS) tryAdmit() bool {
 	newEntries := 0
 	cycleHit := false
 	minHitIdx := -1
-	var needWays []uint64
+	needWays := t.wayScratch[:0]
 	for _, it := range items {
 		pl := t.priv.Lookup(it.line)
 		switch {
 		case pl != nil && pl.NotVisible:
-			e := t.byLine[it.line]
+			e := t.byLine.Get(it.line)
 			if e == nil {
 				panic(faults.Violationf("tus", t.core.ID, it.line, "woq-tracks-notvisible",
 					"not-visible line missing from WOQ"))
@@ -258,6 +272,7 @@ func (t *TUS) tryAdmit() bool {
 			}
 		}
 	}
+	t.wayScratch = needWays
 
 	if len(t.woq)+newEntries > t.cfg.WOQEntries {
 		return false
@@ -294,14 +309,17 @@ func (t *TUS) tryAdmit() bool {
 				panic(faults.Violationf("tus", t.core.ID, it.line, "admission-checked",
 					"StoreOverVisibleLine failed after admission checks"))
 			}
-			t.append(&woqEntry{line: it.line, born: t.q.Now(), group: gid, canCycle: true, ready: true, hasPerm: true})
+			e := t.woqPool.Get()
+			*e = woqEntry{line: it.line, born: t.q.Now(), group: gid, canCycle: true, ready: true, hasPerm: true}
+			t.append(e)
 			t.tr.Emit(trace.AuthWrite, int32(t.core.ID), t.q.Now(), it.line, 0, uint64(gid))
 		default:
 			if !t.priv.StoreUnauthorizedLine(it.line, &it.data, it.mask) {
 				panic(faults.Violationf("tus", t.core.ID, it.line, "admission-checked",
 					"StoreUnauthorizedLine failed after admission checks"))
 			}
-			e := &woqEntry{line: it.line, born: t.q.Now(), group: gid, canCycle: true}
+			e := t.woqPool.Get()
+			*e = woqEntry{line: it.line, born: t.q.Now(), group: gid, canCycle: true}
 			t.append(e)
 			t.tr.Emit(trace.UnauthWrite, int32(t.core.ID), t.q.Now(), it.line, 0, uint64(gid))
 			t.request(e)
@@ -329,13 +347,19 @@ func (t *TUS) tryAdmit() bool {
 }
 
 func (t *TUS) lexConflictInMerged(items []flushItem, minHitIdx int, cycleHit bool) bool {
-	seen := map[uint64]uint64{}
+	// Quadratic scan over a scratch pair list: candidate groups are at
+	// most MaxAtomicGroup plus the merged WOQ tail, so this stays small
+	// and allocation-free where the old per-call map did not.
+	seen := t.lexScratch[:0]
+	defer func() { t.lexScratch = seen[:0] }()
 	add := func(line uint64) bool {
 		k := t.lex(line)
-		if prev, ok := seen[k]; ok && prev != line {
-			return true
+		for _, p := range seen {
+			if p.key == k && p.line != line {
+				return true
+			}
 		}
-		seen[k] = line
+		seen = append(seen, lexPair{key: k, line: line})
 		return false
 	}
 	for _, it := range items {
@@ -355,7 +379,7 @@ func (t *TUS) lexConflictInMerged(items []flushItem, minHitIdx int, cycleHit boo
 
 func (t *TUS) append(e *woqEntry) {
 	t.woq = append(t.woq, e)
-	t.byLine[e.line] = e
+	t.byLine.Put(e.line, e)
 }
 
 func (t *TUS) firstOfGroup(gid int) int {
@@ -388,7 +412,7 @@ func (t *TUS) request(e *woqEntry) {
 		// the request overflowed a queue. Re-request with a backoff;
 		// mark it gated so a contended line follows the Sec. III-C
 		// re-request rule instead of hammering the holder.
-		if cur := t.byLine[line]; cur != nil {
+		if cur := t.byLine.Get(line); cur != nil {
 			cur.requested = false
 			cur.gated = true
 			cur.retryAt = t.q.Now() + t.cfg.NetLatency
@@ -467,7 +491,7 @@ func (t *TUS) advanceVisibility() {
 		for i := 0; i < n; i++ {
 			e := t.woq[i]
 			t.priv.MakeVisible(e.line)
-			delete(t.byLine, e.line)
+			t.byLine.Delete(e.line)
 			t.cStoresVisible.Inc()
 			var res uint64
 			if now >= e.born {
@@ -475,6 +499,8 @@ func (t *TUS) advanceVisibility() {
 			}
 			t.hUnauthRes.Observe(res)
 			t.tr.Emit(trace.WOQRelease, int32(t.core.ID), now, e.line, 0, res)
+			t.woq[i] = nil // drop the slice's reference before recycling
+			t.woqPool.Put(e)
 		}
 		t.woq = t.woq[n:]
 		t.cVisibleGroups.Inc()
@@ -491,7 +517,7 @@ func (t *TUS) advanceVisibility() {
 // restoring the invariant that held permissions form a lex prefix.
 func (t *TUS) HandleProbe(line uint64) memsys.ProbeAction {
 	t.cWOQSearch.Inc()
-	e := t.byLine[line]
+	e := t.byLine.Get(line)
 	if e == nil {
 		// Not tracked (should not happen): delay is always safe for
 		// the prober, which will retry.
@@ -534,7 +560,7 @@ func (t *TUS) HandleProbe(line uint64) memsys.ProbeAction {
 // and data arrived and were combined under the mask.
 func (t *TUS) HandleFill(line uint64) {
 	t.cWOQSearch.Inc()
-	e := t.byLine[line]
+	e := t.byLine.Get(line)
 	if e == nil {
 		return
 	}
@@ -548,7 +574,7 @@ func (t *TUS) HandleFill(line uint64) {
 
 // HandleRelinquish implements memsys.UnauthorizedHandler.
 func (t *TUS) HandleRelinquish(line uint64) {
-	e := t.byLine[line]
+	e := t.byLine.Get(line)
 	if e == nil {
 		return
 	}

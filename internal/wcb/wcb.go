@@ -54,6 +54,9 @@ type Set struct {
 	Searches uint64
 	// CycleMerges counts atomic-group formations from WCB-level cycles.
 	CycleMerges uint64
+	// group is the scratch backing for OldestGroup (one outstanding
+	// group per set, so a single buffer suffices).
+	group []*Buffer
 }
 
 // NewSet builds n write-combining buffers.
@@ -124,18 +127,21 @@ func (s *Set) Insert(addr uint64, data []byte) InsertResult {
 
 // lexConflictAll reports whether any two valid buffers with distinct
 // lines share a lex key (merging them all would break the global order).
+// Pairwise scan: the buffer count is a small constant (2 by default),
+// so this beats building a map every drain cycle.
 func (s *Set) lexConflictAll() bool {
-	seen := map[uint64]uint64{}
 	for i := range s.bufs {
-		b := &s.bufs[i]
-		if !b.Valid {
+		bi := &s.bufs[i]
+		if !bi.Valid {
 			continue
 		}
-		k := Lex(b.Line, s.lexBits)
-		if prev, ok := seen[k]; ok && prev != b.Line {
-			return true
+		ki := Lex(bi.Line, s.lexBits)
+		for j := i + 1; j < len(s.bufs); j++ {
+			bj := &s.bufs[j]
+			if bj.Valid && bj.Line != bi.Line && Lex(bj.Line, s.lexBits) == ki {
+				return true
+			}
 		}
-		seen[k] = b.Line
 	}
 	return false
 }
@@ -148,7 +154,9 @@ func writeBytes(b *Buffer, addr uint64, data []byte) {
 
 // OldestGroup returns the buffers of the atomic group containing the
 // oldest store, or nil when empty. The returned buffers are live
-// pointers into the set; call Release after flushing them.
+// pointers into the set; call Release after flushing them. The slice
+// itself is scratch owned by the set and is overwritten by the next
+// OldestGroup call — callers flush one group at a time.
 func (s *Set) OldestGroup() []*Buffer {
 	oldest := -1
 	for i := range s.bufs {
@@ -164,12 +172,13 @@ func (s *Set) OldestGroup() []*Buffer {
 		return nil
 	}
 	cid := s.bufs[oldest].CID
-	var group []*Buffer
+	group := s.group[:0]
 	for i := range s.bufs {
 		if s.bufs[i].Valid && s.bufs[i].CID == cid {
 			group = append(group, &s.bufs[i])
 		}
 	}
+	s.group = group
 	return group
 }
 

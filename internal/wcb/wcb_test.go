@@ -201,3 +201,59 @@ func TestInvariantsUnderRandomInserts(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// BenchmarkWCBCoalesce is the TUS drain's per-store WCB work: insert
+// into a warm buffer (same line, so every store coalesces) plus the
+// forwarding search loads pay.
+func BenchmarkWCBCoalesce(b *testing.B) {
+	s := NewSet(2, 16)
+	buf := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s.Insert(0x4000+uint64(i%8)*8, buf) != Inserted {
+			b.Fatal("coalescing store did not insert")
+		}
+	}
+}
+
+// BenchmarkWCBGroupFlush forms a two-line group and releases it — the
+// per-group admission rhythm of a TUS drain under line churn.
+func BenchmarkWCBGroupFlush(b *testing.B) {
+	s := NewSet(2, 16)
+	buf := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Insert(0x4000, buf)
+		s.Insert(0x8040, buf)
+		g := s.OldestGroup()
+		if g == nil {
+			b.Fatal("no group to flush")
+		}
+		s.Release(g)
+	}
+}
+
+// TestWCBCoalesceZeroAlloc pins the WCB insert/forward/flush cycle at
+// zero steady-state allocations.
+func TestWCBCoalesceZeroAlloc(t *testing.T) {
+	s := NewSet(2, 16)
+	buf := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	step := func() {
+		s.Insert(0x4000, buf)
+		s.Insert(0x8040, buf)
+		if hit, _, _ := s.Forward(0x4000, 8); !hit {
+			t.Fatal("forward missed a coalesced store")
+		}
+		g := s.OldestGroup()
+		if g == nil {
+			t.Fatal("no group")
+		}
+		s.Release(g)
+	}
+	step()
+	if n := testing.AllocsPerRun(1000, step); n != 0 {
+		t.Fatalf("WCB insert/forward/flush allocates %.1f allocs/op, want 0", n)
+	}
+}
