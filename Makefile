@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test short race race-harness check smoke chaos litmus figs figures-par fuzz cover bench ref-identity trace-smoke resume-smoke serve server-smoke loadtest soak bench-gate clean
+.PHONY: all build vet test short race race-harness check smoke chaos litmus figs figures-par fuzz cover bench bench-diff pgo ref-identity trace-smoke resume-smoke serve server-smoke loadtest soak bench-gate clean
 
 all: vet build test
 
@@ -31,7 +31,7 @@ race:
 # on the hot paths fail here, not in a profiler three PRs later.
 race-harness:
 	$(GO) test -race ./internal/harness/... ./internal/stats/... ./internal/supervise/... ./internal/server/...
-	$(GO) test -run 'ZeroAlloc' -count=1 ./internal/cpu/ ./internal/memsys/ ./internal/wcb/ ./internal/event/ ./internal/lmap/
+	$(GO) test -run 'ZeroAlloc' -count=1 ./internal/cpu/ ./internal/memsys/ ./internal/wcb/ ./internal/event/ ./internal/lmap/ ./internal/harness/
 
 # check: model-check the simulator against the operational x86-TSO
 # oracle — every litmus program × {base, CSB, TUS}, bounded-exhaustive
@@ -79,11 +79,12 @@ fuzz:
 # repo's behavioural contracts — the tracer and histogram code (golden/
 # identity guarantees), the tusd service layer (coalescing, SSE,
 # exactly-once accounting), the supervision/journal layer (crash
-# consistency), and the simulator hot core (event queue, CPU core,
-# memory system, line-map containers) whose pooled fast paths the
-# differential rig and these tests keep honest.
+# consistency), the simulator hot core (event queue, CPU core, memory
+# system, line-map containers) whose pooled fast paths the differential
+# rig and these tests keep honest, and the workload generators +
+# prefetchers whose fingerprints the figures depend on.
 cover:
-	$(GO) test -coverprofile=cover.out ./internal/trace/ ./internal/stats/ ./internal/server/ ./internal/supervise/ ./internal/event/ ./internal/cpu/ ./internal/memsys/ ./internal/lmap/
+	$(GO) test -coverprofile=cover.out ./internal/trace/ ./internal/stats/ ./internal/server/ ./internal/supervise/ ./internal/event/ ./internal/cpu/ ./internal/memsys/ ./internal/lmap/ ./internal/workload/ ./internal/prefetch/
 	$(GO) tool cover -func=cover.out | awk '/^total:/ { sub("%","",$$3); if ($$3+0 < 85) { printf "coverage %.1f%% below 85%% floor\n", $$3; exit 1 } else printf "coverage %.1f%% (floor 85%%)\n", $$3 }'
 
 # trace-smoke: the acceptance path — a smoke workload emitting a
@@ -135,14 +136,40 @@ bench:
 	$(GO) test -run '^$$' -bench . -benchtime 0.5s ./internal/lmap/ ./internal/event/ ./internal/cpu/ ./internal/wcb/ ./internal/memsys/
 	$(GO) test -run '^$$' -bench 'BenchmarkSimulatorThroughput|BenchmarkWholeCellCyclesPerSec' -benchtime 2s .
 
+# bench-diff: benchstat-style comparison of a fresh `make bench` run
+# against the committed BENCH_micro.txt baseline. Informational —
+# microbenchmark numbers are machine-dependent, so the ratchet that
+# FAILS on regression is bench-gate; this table makes per-benchmark
+# drift reviewable (CI uploads it as an artifact). Refresh the baseline
+# with: make bench > BENCH_micro.txt
+bench-diff:
+	$(GO) test -run '^$$' -bench . -benchtime 0.5s ./internal/lmap/ ./internal/event/ ./internal/cpu/ ./internal/wcb/ ./internal/memsys/ > bench_fresh.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkSimulatorThroughput|BenchmarkWholeCellCyclesPerSec' -benchtime 2s . >> bench_fresh.txt
+	$(GO) run ./cmd/benchdiff -old BENCH_micro.txt -new bench_fresh.txt
+
+# pgo: regenerate the committed profile-guided-optimization profile.
+# Runs the representative workload — a serial fresh-cache -quick figure
+# sweep, the same shape the bench-gate ratchet measures — under the CPU
+# profiler and installs the result as cmd/tusbench/default.pgo, which
+# the Go toolchain applies automatically to every `go build`/`go run`
+# of ./cmd/tusbench. The profile is an input to the build, not an
+# output: regenerate deliberately, check the throughput delta with
+# bench-gate, and commit the refreshed file. The CI pgo job proves the
+# optimized build stays byte-identical on every figure.
+pgo:
+	$(GO) run ./cmd/tusbench -quick -j 1 -cpuprofile tusbench.pgo.tmp > /dev/null
+	mv tusbench.pgo.tmp cmd/tusbench/default.pgo
+
 # ref-identity: the mechanical observational-equivalence proof for the
-# open-addressed/pooled containers — the entire test suite (golden
-# figures, chaos, model check included) replayed on the reference
-# container implementations via the tus_ref build tag, plus the
-# in-process differential rigs that compare both modes side by side.
+# open-addressed/pooled containers AND the time-wheel scheduler — the
+# entire test suite (golden figures, chaos, model check included)
+# replayed on the reference containers and reference binary-heap
+# scheduler via the tus_ref build tag, plus the in-process differential
+# rigs that compare both modes side by side (container state identity,
+# wheel-vs-heap pop-order identity under seeded + chaos traffic).
 ref-identity:
 	$(GO) test -tags tus_ref ./...
-	$(GO) test -run 'TestDifferential|TestRefContainers' -count=1 ./internal/memsys/ ./internal/system/
+	$(GO) test -run 'TestDifferential|TestRefContainers|TestWheel' -count=1 ./internal/memsys/ ./internal/system/ ./internal/event/
 
 # bench-gate: the perf-regression ratchet — regenerate the figures with
 # a fresh cache, then fail if any figure (or total wall-clock) got more

@@ -1,0 +1,54 @@
+// Command benchdiff renders a benchstat-style comparison of two
+// `go test -bench` output files (see internal/benchcmp). It is the
+// engine behind `make bench-diff`: compare a fresh `make bench` run
+// against the committed BENCH_micro.txt baseline.
+//
+// Usage:
+//
+//	benchdiff -old BENCH_micro.txt -new bench.txt
+//
+// The comparison is informational and always exits 0 on valid input —
+// microbenchmark numbers are machine-dependent, so the failing perf
+// ratchet is `make bench-gate` over BENCH_harness.json, not this tool.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tusim/internal/benchcmp"
+)
+
+func main() {
+	oldPath := flag.String("old", "BENCH_micro.txt", "baseline `go test -bench` output file")
+	newPath := flag.String("new", "", "fresh `go test -bench` output file")
+	flag.Parse()
+	if *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -new is required")
+		os.Exit(2)
+	}
+	oldRs, err := parseFile(*oldPath)
+	if err != nil {
+		fail(err)
+	}
+	newRs, err := parseFile(*newPath)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Print(benchcmp.FormatTable(benchcmp.Compare(oldRs, newRs)))
+}
+
+func parseFile(path string) (map[string]benchcmp.Result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return benchcmp.Parse(f)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,138 @@
+// Package benchcmp parses `go test -bench` output and renders a
+// benchstat-style old-vs-new delta table. It exists so `make bench-diff`
+// can compare a fresh microbenchmark run against the committed
+// BENCH_micro.txt baseline without any external tooling: the numbers
+// are informational (machine-dependent — the ratchet that FAILS on
+// regression is the bench gate over BENCH_harness.json), but the table
+// makes hot-path drift visible in every CI run's artifacts.
+package benchcmp
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	// Name is the benchmark name qualified by its package (as printed
+	// in the preceding "pkg:" header) with any -GOMAXPROCS suffix
+	// stripped, so runs from machines with different core counts still
+	// line up.
+	Name        string
+	Iterations  int64
+	NsPerOp     float64
+	BytesPerOp  float64 // -1 when the run did not report B/op
+	AllocsPerOp float64 // -1 when the run did not report allocs/op
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([0-9.]+) ns/op(.*)$`)
+var gomaxSuffix = regexp.MustCompile(`-\d+$`)
+
+// Parse reads `go test -bench` output and returns results keyed by
+// qualified name. Duplicate names (e.g. -count>1 runs) keep the last
+// reading. Non-benchmark lines are ignored.
+func Parse(r io.Reader) (map[string]Result, error) {
+	out := map[string]Result{}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		name := gomaxSuffix.ReplaceAllString(m[1], "")
+		if pkg != "" {
+			name = pkg + "." + name
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchcmp: bad ns/op in %q: %w", line, err)
+		}
+		res := Result{Name: name, Iterations: iters, NsPerOp: ns, BytesPerOp: -1, AllocsPerOp: -1}
+		for _, f := range strings.Split(m[4], "\t") {
+			f = strings.TrimSpace(f)
+			switch {
+			case strings.HasSuffix(f, " B/op"):
+				res.BytesPerOp, _ = strconv.ParseFloat(strings.TrimSuffix(f, " B/op"), 64)
+			case strings.HasSuffix(f, " allocs/op"):
+				res.AllocsPerOp, _ = strconv.ParseFloat(strings.TrimSuffix(f, " allocs/op"), 64)
+			}
+		}
+		out[name] = res
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Delta is one old-vs-new comparison row.
+type Delta struct {
+	Name     string
+	Old, New Result
+	// Ratio is new/old ns/op; <1 is faster, >1 slower.
+	Ratio float64
+	// OnlyOld/OnlyNew mark benchmarks present on one side only.
+	OnlyOld, OnlyNew bool
+}
+
+// Compare joins two parsed runs by name, sorted by name for stable
+// output.
+func Compare(old, fresh map[string]Result) []Delta {
+	names := map[string]bool{}
+	for n := range old {
+		names[n] = true
+	}
+	for n := range fresh {
+		names[n] = true
+	}
+	var sorted []string
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+	var out []Delta
+	for _, n := range sorted {
+		o, haveOld := old[n]
+		f, haveNew := fresh[n]
+		d := Delta{Name: n, Old: o, New: f, OnlyOld: !haveNew, OnlyNew: !haveOld}
+		if haveOld && haveNew && o.NsPerOp > 0 {
+			d.Ratio = f.NsPerOp / o.NsPerOp
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// FormatTable renders deltas as an aligned text table. Rows present on
+// one side only are flagged rather than dropped — a vanished benchmark
+// usually means a renamed or deleted hot path, which is exactly what a
+// reviewer wants to see.
+func FormatTable(deltas []Delta) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-64s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	for _, d := range deltas {
+		switch {
+		case d.OnlyOld:
+			fmt.Fprintf(&b, "%-64s %14.2f %14s %8s\n", d.Name, d.Old.NsPerOp, "-", "gone")
+		case d.OnlyNew:
+			fmt.Fprintf(&b, "%-64s %14s %14.2f %8s\n", d.Name, "-", d.New.NsPerOp, "new")
+		default:
+			fmt.Fprintf(&b, "%-64s %14.2f %14.2f %+7.1f%%\n",
+				d.Name, d.Old.NsPerOp, d.New.NsPerOp, (d.Ratio-1)*100)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,99 @@
+package benchcmp
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOld = `goos: linux
+goarch: amd64
+pkg: tusim/internal/event
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkWheelAt2 	149817976	        16.03 ns/op	       0 B/op	       0 allocs/op
+BenchmarkHeapAt2  	15862226	       141.6 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	tusim/internal/event	6.427s
+pkg: tusim/internal/lmap
+BenchmarkGet-8   	100000000	        11.00 ns/op
+BenchmarkVanishes 	1000	        99.00 ns/op
+ok  	tusim/internal/lmap	1.2s
+`
+
+const sampleNew = `pkg: tusim/internal/event
+BenchmarkWheelAt2 	200000000	        12.00 ns/op	       0 B/op	       0 allocs/op
+BenchmarkHeapAt2  	15000000	       150.0 ns/op	       0 B/op	       0 allocs/op
+pkg: tusim/internal/lmap
+BenchmarkGet-16   	100000000	        22.00 ns/op
+BenchmarkBrandNew 	1000	        5.00 ns/op
+`
+
+func TestParse(t *testing.T) {
+	rs, err := Parse(strings.NewReader(sampleOld))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 4 {
+		t.Fatalf("parsed %d results, want 4: %v", len(rs), rs)
+	}
+	w, ok := rs["tusim/internal/event.BenchmarkWheelAt2"]
+	if !ok || w.NsPerOp != 16.03 || w.AllocsPerOp != 0 || w.BytesPerOp != 0 {
+		t.Fatalf("wheel result: %+v (ok=%v)", w, ok)
+	}
+	// The -GOMAXPROCS suffix is stripped so core counts don't split keys.
+	g, ok := rs["tusim/internal/lmap.BenchmarkGet"]
+	if !ok || g.NsPerOp != 11.00 {
+		t.Fatalf("get result: %+v (ok=%v)", g, ok)
+	}
+	// No B/op columns parsed as absent, not zero.
+	if g.AllocsPerOp != -1 || g.BytesPerOp != -1 {
+		t.Fatalf("absent mem columns should be -1: %+v", g)
+	}
+}
+
+func TestCompareAndFormat(t *testing.T) {
+	oldRs, err := Parse(strings.NewReader(sampleOld))
+	if err != nil {
+		t.Fatal(err)
+	}
+	newRs, err := Parse(strings.NewReader(sampleNew))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deltas := Compare(oldRs, newRs)
+	if len(deltas) != 5 {
+		t.Fatalf("got %d deltas, want 5", len(deltas))
+	}
+	byName := map[string]Delta{}
+	for _, d := range deltas {
+		byName[d.Name] = d
+	}
+	w := byName["tusim/internal/event.BenchmarkWheelAt2"]
+	if w.OnlyOld || w.OnlyNew || w.Ratio > 0.76 || w.Ratio < 0.74 {
+		t.Fatalf("wheel delta: %+v", w)
+	}
+	if d := byName["tusim/internal/lmap.BenchmarkVanishes"]; !d.OnlyOld {
+		t.Fatalf("vanished benchmark not flagged: %+v", d)
+	}
+	if d := byName["tusim/internal/lmap.BenchmarkBrandNew"]; !d.OnlyNew {
+		t.Fatalf("new benchmark not flagged: %+v", d)
+	}
+
+	table := FormatTable(deltas)
+	for _, want := range []string{"gone", "new", "-25.1%", "old ns/op"} {
+		if !strings.Contains(table, want) {
+			t.Fatalf("table missing %q:\n%s", want, table)
+		}
+	}
+	// Deterministic order: sorted by qualified name.
+	if strings.Index(table, "BenchmarkHeapAt2") > strings.Index(table, "BenchmarkGet") {
+		t.Fatalf("table not sorted:\n%s", table)
+	}
+}
+
+func TestParseBadInput(t *testing.T) {
+	// Garbage that matches no benchmark shape parses to empty, not error.
+	rs, err := Parse(strings.NewReader("hello\nworld 123\n"))
+	if err != nil || len(rs) != 0 {
+		t.Fatalf("rs=%v err=%v", rs, err)
+	}
+}

@@ -168,6 +168,15 @@ type Config struct {
 	// differential state-identity rig runs one system in each mode and
 	// compares state at every drain point.
 	RefContainers bool
+
+	// RefScheduler runs this machine's event queue on the reference
+	// binary-heap engine instead of the hierarchical time wheel. Both
+	// engines pop in exactly (cycle, insertion-seq) order, so any
+	// observable difference is a bug; the scheduler differential rig
+	// runs one system on each engine and compares state at every drain
+	// point (and `make ref-identity` replays the whole suite on the
+	// reference engine via the tus_ref build tag).
+	RefScheduler bool
 }
 
 // DefaultWatchdogWindow is the no-commit-progress bound used when

@@ -1,0 +1,28 @@
+package event
+
+import "fmt"
+
+// SetDefaultEngine selects the engine NewQueue uses, by CLI-friendly
+// name: "wheel" (the production time wheel), "heap" (the reference
+// binary heap), or "" to keep the build default (the wheel, or the
+// heap under -tags tus_ref).
+func SetDefaultEngine(name string) error {
+	switch name {
+	case "":
+	case "wheel":
+		DefaultRef = false
+	case "heap":
+		DefaultRef = true
+	default:
+		return fmt.Errorf("event: unknown scheduler engine %q (want wheel or heap)", name)
+	}
+	return nil
+}
+
+// EngineName reports the engine NewQueue currently selects.
+func EngineName() string {
+	if DefaultRef {
+		return "heap"
+	}
+	return "wheel"
+}

@@ -4,13 +4,47 @@
 // events in (cycle, insertion-order) order, which makes every run
 // bit-for-bit reproducible for a given seed.
 //
-// The queue is a hand-rolled binary min-heap over a flat []item slice
-// rather than container/heap: the stdlib interface boxes every pushed
-// and popped element into an `any`, which made Push/Pop the two top
-// allocators in the whole-simulator heap profile. The flat heap keeps
-// steady-state scheduling allocation-free once the backing slice has
-// grown to the high-water mark.
+// The queue has two interchangeable engines:
+//
+//   - The default is a hierarchical time wheel: a short-horizon wheel
+//     of power-of-two slots holding per-slot FIFO chains whose nodes
+//     come from a slab free-list, plus an overflow ladder (a small
+//     binary heap) for far-future events such as Every watchdogs and
+//     periodic auditors. Scheduling and firing are O(1) with no
+//     sift-up/sift-down item moves, which matters twice over: the old
+//     heap's swaps were ~20% of whole-simulator CPU, and every moved
+//     item carried two function pointers whose GC write barriers were
+//     another ~10%.
+//
+//   - The reference engine is the previous hand-rolled binary min-heap
+//     over a flat []item slice. It is kept behind NewHeapQueue /
+//     config.RefScheduler / the tus_ref build tag so the wheel's pop
+//     order can be differentially pinned against it forever (see
+//     wheel_test.go and the memsys scheduler-differential rig).
+//
+// Both engines pop in exactly (cycle, insertion-seq) order, so golden
+// figures, chaos repro bundles, and model-check traces are
+// byte-identical regardless of engine. The wheel preserves the order
+// by construction: slot chains are FIFO (ascending seq), a slot within
+// the horizon holds exactly one distinct cycle, and the insert path
+// routes exactly three classes of event to the ladder — far-future
+// (delta >= wheelSpan), due-now (delta == 0 after the causality clamp),
+// and everything in reference mode. For a given cycle X that keeps the
+// fire order seq-ascending: far-ladder events at X were scheduled at
+// now <= X-wheelSpan, wheel events at X at X-wheelSpan < now < X, and
+// due-now ladder events at now == X; now and seq are both monotone, and
+// RunDue fires ladder-then-chain per cycle with the heap interleaving
+// the due-now stragglers (which the heap engine also fires late, at the
+// first RunDue after they were scheduled) identically.
 package event
+
+import "math/bits"
+
+// DefaultRef selects the scheduler engine for callers that do not
+// choose explicitly (NewQueue consults it). It is false in normal
+// builds; the tus_ref build tag flips it to true so the entire test
+// suite replays on the reference heap.
+var DefaultRef = false
 
 // Func is a callback executed when its event fires.
 type Func func()
@@ -38,22 +72,85 @@ func (it *item) less(other *item) bool {
 	return it.seq < other.seq
 }
 
-// Queue is a discrete-event scheduler keyed by clock cycle.
-// The zero value is ready to use.
-type Queue struct {
-	now  uint64
-	seq  uint64
-	heap []item
+// Wheel geometry. The span must cover the simulator's ordinary
+// latencies (Table I tops out at DRAMLatency=160; chaos request jitter
+// adds up to ~200 more), so almost every event schedules O(1) into the
+// wheel and only long periodics (auditor Every cadences, watchdog
+// timers) take the overflow ladder.
+const (
+	wheelBits  = 9
+	wheelSlots = 1 << wheelBits // 512 cycles of near horizon
+	wheelMask  = wheelSlots - 1
+	wheelWords = wheelSlots / 64
+)
+
+// node is one wheel-resident event in the slab; chains link by slab
+// index so list surgery moves int32s, never the closure pointers.
+type node struct {
+	cycle uint64
+	seq   uint64
+	a, b  uint64
+	fn    Func
+	fn2   Func2
+	next  int32
 }
 
-// NewQueue returns an empty event queue at cycle 0.
-func NewQueue() *Queue { return &Queue{} }
+// chain is one slot's FIFO list (slab indices; -1 = empty).
+type chain struct{ head, tail int32 }
+
+// Queue is a discrete-event scheduler keyed by clock cycle. Construct
+// with NewQueue (engine per DefaultRef), NewHeapQueue (reference heap)
+// or NewQueueRef; the zero value is not usable — slot chains and the
+// free list need their -1 sentinels.
+type Queue struct {
+	now uint64
+	seq uint64
+	n   int // total pending events, both engines
+
+	// heap is the whole queue in reference mode, and the overflow
+	// ladder (events >= wheelSlots cycles out) in wheel mode.
+	heap []item
+
+	// refHeap disables the wheel entirely (reference engine).
+	refHeap bool
+
+	// Wheel state: per-slot chains, an occupancy bitmap for O(words)
+	// next-event scans, and the node slab with its free list.
+	slots [wheelSlots]chain
+	occ   [wheelWords]uint64
+	nodes []node
+	free  int32
+	nearN int
+}
+
+// NewQueue returns an empty event queue at cycle 0 using the engine
+// selected by DefaultRef (the wheel in normal builds).
+func NewQueue() *Queue { return NewQueueRef(DefaultRef) }
+
+// NewHeapQueue returns an empty queue on the reference binary-heap
+// engine.
+func NewHeapQueue() *Queue { return NewQueueRef(true) }
+
+// NewQueueRef returns an empty queue; ref selects the reference heap
+// engine instead of the time wheel.
+func NewQueueRef(ref bool) *Queue {
+	q := &Queue{refHeap: ref, free: -1}
+	if !ref {
+		for i := range q.slots {
+			q.slots[i] = chain{head: -1, tail: -1}
+		}
+	}
+	return q
+}
+
+// Ref reports whether the queue runs on the reference heap engine.
+func (q *Queue) Ref() bool { return q.refHeap }
 
 // Now reports the current cycle.
 func (q *Queue) Now() uint64 { return q.now }
 
 // Len reports the number of pending events.
-func (q *Queue) Len() int { return len(q.heap) }
+func (q *Queue) Len() int { return q.n }
 
 // push inserts it into the heap, sifting up to restore heap order.
 func (q *Queue) push(it item) {
@@ -69,7 +166,7 @@ func (q *Queue) push(it item) {
 	}
 }
 
-// pop removes and returns the minimum item. Callers must check Len.
+// pop removes and returns the minimum item. Callers must check length.
 func (q *Queue) pop() item {
 	top := q.heap[0]
 	n := len(q.heap) - 1
@@ -95,47 +192,189 @@ func (q *Queue) pop() item {
 	return top
 }
 
+// pushSlot links a near-horizon event onto its slot's FIFO chain,
+// recycling a slab node when one is free. Steady state allocates
+// nothing.
+func (q *Queue) pushSlot(cycle uint64, fn Func, fn2 Func2, a, b uint64) {
+	idx := q.free
+	if idx >= 0 {
+		q.free = q.nodes[idx].next
+	} else {
+		q.nodes = append(q.nodes, node{})
+		idx = int32(len(q.nodes) - 1)
+	}
+	nd := &q.nodes[idx]
+	nd.cycle, nd.seq, nd.a, nd.b = cycle, q.seq, a, b
+	nd.fn, nd.fn2 = fn, fn2
+	nd.next = -1
+	s := cycle & wheelMask
+	ch := &q.slots[s]
+	if ch.tail < 0 {
+		ch.head, ch.tail = idx, idx
+		q.occ[s>>6] |= 1 << (s & 63)
+	} else {
+		q.nodes[ch.tail].next = idx
+		ch.tail = idx
+	}
+	q.nearN++
+}
+
+// schedule is the shared insert path for both engines and both
+// callback arities.
+func (q *Queue) schedule(cycle uint64, fn Func, fn2 Func2, a, b uint64) {
+	if cycle < q.now {
+		cycle = q.now
+	}
+	q.seq++
+	q.n++
+	// Three event classes take the ladder: everything in reference
+	// mode, far-future events (beyond the wheel horizon), and events
+	// due at the CURRENT cycle. The last matters for order fidelity:
+	// the heap engine fires cycle<=now stragglers at the next RunDue,
+	// and the wheel's ring arithmetic cannot represent the past — so
+	// due-now events ride the ladder, whose (cycle, seq) pops replay
+	// the heap's late-firing behavior exactly.
+	if q.refHeap || cycle == q.now || cycle-q.now >= wheelSlots {
+		q.push(item{cycle: cycle, seq: q.seq, fn: fn, fn2: fn2, a: a, b: b})
+		return
+	}
+	q.pushSlot(cycle, fn, fn2, a, b)
+}
+
 // At schedules fn to run at the given absolute cycle. Scheduling in the
 // past (or at the current cycle) runs the event before time advances
 // again, preserving causality.
-func (q *Queue) At(cycle uint64, fn Func) {
-	if cycle < q.now {
-		cycle = q.now
-	}
-	q.seq++
-	q.push(item{cycle: cycle, seq: q.seq, fn: fn})
-}
+func (q *Queue) At(cycle uint64, fn Func) { q.schedule(cycle, fn, nil, 0, 0) }
 
 // After schedules fn to run delay cycles from now.
-func (q *Queue) After(delay uint64, fn Func) { q.At(q.now+delay, fn) }
+func (q *Queue) After(delay uint64, fn Func) { q.schedule(q.now+delay, fn, nil, 0, 0) }
 
 // At2 schedules fn(a, b) to run at the given absolute cycle, with the
-// same causality clamp as At. The arguments ride in the heap item, so a
-// long-lived fn (bound once at construction) schedules with zero
+// same causality clamp as At. The arguments ride in the event record,
+// so a long-lived fn (bound once at construction) schedules with zero
 // allocations.
-func (q *Queue) At2(cycle uint64, fn Func2, a, b uint64) {
-	if cycle < q.now {
-		cycle = q.now
-	}
-	q.seq++
-	q.push(item{cycle: cycle, seq: q.seq, fn2: fn, a: a, b: b})
-}
+func (q *Queue) At2(cycle uint64, fn Func2, a, b uint64) { q.schedule(cycle, nil, fn, a, b) }
 
 // After2 schedules fn(a, b) to run delay cycles from now.
 func (q *Queue) After2(delay uint64, fn Func2, a, b uint64) {
-	q.At2(q.now+delay, fn, a, b)
+	q.schedule(q.now+delay, nil, fn, a, b)
 }
 
-// RunDue executes every event scheduled at or before the current cycle.
-// Events may schedule further events for the same cycle; those run too.
-func (q *Queue) RunDue() {
-	for len(q.heap) > 0 && q.heap[0].cycle <= q.now {
+// nearNext returns the cycle of the earliest wheel-resident event. The
+// occupancy bitmap makes the scan O(wheelWords): slots are probed in
+// ring order starting at now's slot, and a set bit at ring distance d
+// is exactly an event at cycle now+d, because the wheel only ever
+// holds cycles in [now, now+wheelSpan-1] and a slot maps to one cycle
+// of that window.
+func (q *Queue) nearNext() (uint64, bool) {
+	if q.nearN == 0 {
+		return 0, false
+	}
+	base := uint(q.now & wheelMask)
+	w0 := int(base >> 6)
+	off := base & 63
+	if bitsHere := q.occ[w0] >> off; bitsHere != 0 {
+		return q.now + uint64(bits.TrailingZeros64(bitsHere)), true
+	}
+	for i := 1; i <= wheelWords; i++ {
+		w := (w0 + i) & (wheelWords - 1)
+		if q.occ[w] != 0 {
+			d := uint64(i)<<6 - uint64(off) + uint64(bits.TrailingZeros64(q.occ[w]))
+			return q.now + d, true
+		}
+	}
+	// nearN > 0 guaranteed a set bit; unreachable.
+	panic("event: wheel occupancy bitmap out of sync")
+}
+
+// nextPending returns the earliest pending cycle across both the wheel
+// and the overflow ladder (reference mode: the heap alone).
+func (q *Queue) nextPending() (uint64, bool) {
+	if q.refHeap {
+		if len(q.heap) == 0 {
+			return 0, false
+		}
+		return q.heap[0].cycle, true
+	}
+	best, ok := q.nearNext()
+	if len(q.heap) > 0 && (!ok || q.heap[0].cycle < best) {
+		return q.heap[0].cycle, true
+	}
+	return best, ok
+}
+
+// fireCycle runs every event scheduled at cycle c, in insertion order.
+// Overflow-ladder events fire first: every ladder event at c carries a
+// smaller seq than every wheel event at c (see the package comment's
+// order-preservation argument), and the heap pops them seq-ascending.
+// The slot chain then fires FIFO; events appended to the chain by the
+// running events (After(0) cascades) are picked up in the same sweep.
+func (q *Queue) fireCycle(c uint64) {
+	for len(q.heap) > 0 && q.heap[0].cycle == c {
 		it := q.pop()
+		q.n--
 		if it.fn2 != nil {
 			it.fn2(it.a, it.b)
 		} else {
 			it.fn()
 		}
+	}
+	s := c & wheelMask
+	for {
+		ch := &q.slots[s]
+		idx := ch.head
+		if idx < 0 {
+			return
+		}
+		nd := &q.nodes[idx]
+		// The chain is single-cycle by construction: wheel residents
+		// always lie in [now, now+wheelSpan-1], where exactly one cycle
+		// maps to this slot. But when c is a STALE ladder cycle (c < now,
+		// a due-now event fired late), the slot's resident cycle is
+		// c+wheelSpan — a future event this fire must not touch.
+		if nd.cycle != c {
+			return
+		}
+		ch.head = nd.next
+		if ch.head < 0 {
+			ch.tail = -1
+			q.occ[s>>6] &^= 1 << (s & 63)
+		}
+		fn, fn2, a, b := nd.fn, nd.fn2, nd.a, nd.b
+		nd.fn, nd.fn2 = nil, nil // drop closure references for the GC
+		nd.next = q.free
+		q.free = idx
+		q.nearN--
+		q.n--
+		if fn2 != nil {
+			fn2(a, b)
+		} else {
+			fn()
+		}
+	}
+}
+
+// RunDue executes every event scheduled at or before the current cycle.
+// Events may schedule further events for the same cycle; those run too.
+func (q *Queue) RunDue() {
+	if q.refHeap {
+		for len(q.heap) > 0 && q.heap[0].cycle <= q.now {
+			it := q.pop()
+			q.n--
+			if it.fn2 != nil {
+				it.fn2(it.a, it.b)
+			} else {
+				it.fn()
+			}
+		}
+		return
+	}
+	for q.n > 0 {
+		c, ok := q.nextPending()
+		if !ok || c > q.now {
+			return
+		}
+		q.fireCycle(c)
 	}
 }
 
@@ -167,11 +406,11 @@ func (q *Queue) Every(period uint64, fn func() bool) {
 // intervening event in order. It is a no-op if cycle <= Now().
 func (q *Queue) AdvanceTo(cycle uint64) {
 	for q.now < cycle {
-		if len(q.heap) == 0 || q.heap[0].cycle > cycle {
+		next, ok := q.nextPending()
+		if !ok || next > cycle {
 			q.now = cycle
 			return
 		}
-		next := q.heap[0].cycle
 		if next > q.now {
 			q.now = next
 		}
@@ -182,12 +421,14 @@ func (q *Queue) AdvanceTo(cycle uint64) {
 // Drain runs events until the queue is empty, advancing time as needed,
 // or until maxCycle is reached. It returns the final cycle.
 func (q *Queue) Drain(maxCycle uint64) uint64 {
-	for len(q.heap) > 0 && q.heap[0].cycle <= maxCycle {
-		next := q.heap[0].cycle
+	for {
+		next, ok := q.nextPending()
+		if !ok || next > maxCycle {
+			return q.now
+		}
 		if next > q.now {
 			q.now = next
 		}
 		q.RunDue()
 	}
-	return q.now
 }

@@ -1,0 +1,11 @@
+//go:build tus_ref
+
+package event
+
+// Building with -tags tus_ref runs every Queue constructed via
+// NewQueue on the reference binary-heap engine instead of the time
+// wheel. `go test -tags tus_ref ./...` therefore replays the entire
+// suite — golden figures, chaos, model check — on the reference
+// scheduler, which is the mechanical pop-order-equivalence proof for
+// the wheel (mirroring lmap's container reference mode).
+func init() { DefaultRef = true }

@@ -3,10 +3,27 @@ package harness
 import (
 	"encoding/json"
 	"os"
+	"path/filepath"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 )
+
+// buildPGO reports the profile-guided-optimization setting the running
+// binary was built with, via the build info stamped by the toolchain:
+// the base name of the applied profile (normally "default.pgo"), or
+// "off" when PGO was disabled or no profile was found.
+func buildPGO() string {
+	if info, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range info.Settings {
+			if s.Key == "-pgo" && s.Value != "" && s.Value != "off" {
+				return filepath.Base(s.Value)
+			}
+		}
+	}
+	return "off"
+}
 
 // FigTiming is the wall-clock cost of regenerating one figure.
 type FigTiming struct {
@@ -17,21 +34,28 @@ type FigTiming struct {
 // BenchReport is the perf trajectory record emitted as
 // BENCH_harness.json: per-figure wall-clock, the aggregate simulation
 // time across cells, and the cache hit split. ParallelSpeedup is the
-// ratio of summed per-cell elapsed time to total wall-clock: exactly
-// 1.0 on the serial path, and the realized figure-generation speedup
-// when each worker runs on an otherwise-idle core. Cells are timed by
-// wall clock, so when workers oversubscribe the physical cores the
-// per-cell times absorb descheduled time and the ratio overestimates —
-// compare wall_seconds across -j settings for a ground-truth number.
+// ratio of summed per-cell elapsed time to total wall-clock: the
+// realized figure-generation speedup when each worker runs on an
+// otherwise-idle core. It is omitted when the run is serial (workers
+// == 1) — the ratio is then a meaningless ~1.0 that only records
+// harness overhead. Cells are timed by wall clock, so when workers
+// oversubscribe the physical cores the per-cell times absorb
+// descheduled time and the ratio overestimates — compare wall_seconds
+// across -j settings for a ground-truth number.
 type BenchReport struct {
-	HarnessVersion string      `json:"harness_version"`
-	Workers        int         `json:"workers"`
-	NumCPU         int         `json:"num_cpu"`
-	Ops            int         `json:"ops"`
-	ParallelOps    int         `json:"parallel_ops"`
-	Seed           int64       `json:"seed"`
-	Figures        []FigTiming `json:"figures"`
-	WallSeconds    float64     `json:"wall_seconds"`
+	HarnessVersion string `json:"harness_version"`
+	// PGO names the profile the running binary was built with
+	// ("default.pgo" under -pgo=auto with a committed profile, "off"
+	// otherwise), so throughput numbers in committed reports are
+	// attributable to the right build mode.
+	PGO         string      `json:"pgo,omitempty"`
+	Workers     int         `json:"workers"`
+	NumCPU      int         `json:"num_cpu"`
+	Ops         int         `json:"ops"`
+	ParallelOps int         `json:"parallel_ops"`
+	Seed        int64       `json:"seed"`
+	Figures     []FigTiming `json:"figures"`
+	WallSeconds float64     `json:"wall_seconds"`
 	// CellSeconds is simulation time summed over cells actually run
 	// (cache hits contribute nothing).
 	CellSeconds float64 `json:"cell_seconds"`
@@ -42,7 +66,7 @@ type BenchReport struct {
 	// cache directory is rotting (torn writes, version skew, bit flips)
 	// even though results stayed correct.
 	CacheCorrupt    int     `json:"cache_corrupt"`
-	ParallelSpeedup float64 `json:"parallel_speedup"`
+	ParallelSpeedup float64 `json:"parallel_speedup,omitempty"`
 	// SimCycles is the total simulated cycles across freshly run cells;
 	// with CellSeconds it yields the harness's core throughput metrics:
 	// CellsPerSec (cells simulated per second of simulation time) and
@@ -88,8 +112,8 @@ func (b *BenchRecorder) Report() BenchReport {
 	figures := append([]FigTiming(nil), b.figures...)
 	b.mu.Unlock()
 	cs := b.r.CacheStats()
-	speedup := 1.0
-	if wall > 0 {
+	var speedup float64
+	if b.r.workers() > 1 && wall > 0 {
 		speedup = cell / wall
 	}
 	simCycles := b.r.cellCycles.Load()
@@ -100,6 +124,7 @@ func (b *BenchRecorder) Report() BenchReport {
 	}
 	return BenchReport{
 		HarnessVersion:  Version,
+		PGO:             buildPGO(),
 		Workers:         b.r.workers(),
 		NumCPU:          runtime.NumCPU(),
 		Ops:             b.r.Ops,

@@ -37,7 +37,7 @@ func DSE(r *Runner, benchName string) ([]DSEPoint, error) {
 	run := func(mut func(*config.Config)) (uint64, error) {
 		cfg := config.Default().WithMechanism(config.TUS).WithCores(b.Threads)
 		mut(cfg)
-		sys, err := system.New(cfg, b.Streams(r.Seed, r.ops(b)))
+		sys, err := system.New(cfg, r.interned.streams(b, r.Seed, r.ops(b)))
 		if err != nil {
 			return 0, err
 		}

@@ -110,6 +110,11 @@ type Runner struct {
 	mu    sync.Mutex
 	cells map[string]*cell
 
+	// interned is the cross-cell trace table: cells that share a
+	// (bench, seed, ops) workload share one immutable generated trace
+	// instead of each regenerating it (see intern.go).
+	interned interner
+
 	// Perf accounting for the BENCH_harness.json emitter.
 	cellNanos  atomic.Int64
 	cellCycles atomic.Uint64
@@ -272,7 +277,7 @@ func (r *Runner) simulate(b workload.Benchmark, cfg *config.Config, key, ckey st
 		}
 	}
 	start := time.Now()
-	sys, err := system.New(cfg, b.Streams(r.Seed, r.ops(b)))
+	sys, err := system.New(cfg, r.interned.streams(b, r.Seed, r.ops(b)))
 	if err != nil {
 		return Result{}, fmt.Errorf("harness: %s: %w", key, err)
 	}

@@ -1,0 +1,88 @@
+package harness
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"tusim/internal/isa"
+	"tusim/internal/workload"
+)
+
+// Trace interning. A figure sweep runs many cells per benchmark — fig8
+// alone runs every mechanism × SB point over the same workloads — and
+// every cell used to regenerate its full micro-op trace from scratch
+// via b.Streams(seed, ops), even though the trace depends only on
+// (bench, seed, ops), not on the mechanism or SB size under test. The
+// interner generates each distinct trace exactly once per process and
+// serves the immutable [][]isa.MicroOp to every cell that shares the
+// key; concurrent first requests collapse via singleflight so the
+// generation cost is paid once even under a full worker pool.
+//
+// Interned traces are shared across concurrently running simulations,
+// so they are strictly read-only after publication: cells wrap the
+// shared per-thread slices in fresh isa.SliceStream cursors (private
+// position, shared backing array) and the CPU model only ever reads
+// ops through Stream.Next. TestInternedTraceConcurrentMechanisms pins
+// that contract under the race detector.
+
+// traceKey is the full identity of a generated workload trace.
+type traceKey struct {
+	bench string
+	seed  int64
+	ops   int
+}
+
+// traceCell is one singleflight slot: the first goroutine to claim a
+// key generates; everyone else blocks on done and shares the result.
+type traceCell struct {
+	done   chan struct{}
+	traces [][]isa.MicroOp
+}
+
+// interner is the content-keyed trace table. The zero value is ready
+// to use.
+type interner struct {
+	mu sync.Mutex
+	m  map[traceKey]*traceCell
+
+	// generated counts actual trace generations (not hits); tests use
+	// it to pin the generate-once guarantee.
+	generated atomic.Int64
+}
+
+// traces returns the interned per-thread op slices for (b, seed, ops),
+// generating them on first use. The returned slices are shared and
+// immutable; callers must not modify them.
+func (in *interner) traces(b workload.Benchmark, seed int64, ops int) [][]isa.MicroOp {
+	key := traceKey{bench: b.Name, seed: seed, ops: ops}
+	in.mu.Lock()
+	if in.m == nil {
+		in.m = make(map[traceKey]*traceCell)
+	}
+	c, inflight := in.m[key]
+	if !inflight {
+		c = &traceCell{done: make(chan struct{})}
+		in.m[key] = c
+	}
+	in.mu.Unlock()
+	if inflight {
+		<-c.done
+		return c.traces
+	}
+	c.traces = b.Generate(seed, ops)
+	in.generated.Add(1)
+	close(c.done)
+	return c.traces
+}
+
+// streams wraps the interned trace in fresh per-cell stream cursors.
+// Only the small cursor structs are allocated per cell; the op arrays
+// are shared.
+func (in *interner) streams(b workload.Benchmark, seed int64, ops int) []isa.Stream {
+	traces := in.traces(b, seed, ops)
+	out := make([]isa.Stream, len(traces))
+	for i, tr := range traces {
+		out[i] = isa.NewSliceStream(tr)
+	}
+	return out
+}

@@ -1,0 +1,94 @@
+package harness
+
+import (
+	"sync"
+	"testing"
+
+	"tusim/internal/config"
+	"tusim/internal/workload"
+)
+
+// TestInternedTraceConcurrentMechanisms runs two different mechanisms
+// concurrently over the SAME interned trace. Under `go test -race`
+// this pins the read-only contract: the CPU model must only ever read
+// the shared op arrays through private stream cursors — any write to
+// an interned trace is a data race here. It also pins generate-once:
+// both cells share one generation.
+func TestInternedTraceConcurrentMechanisms(t *testing.T) {
+	b, ok := workload.ByName("502.gcc5")
+	if !ok {
+		t.Fatal("missing benchmark 502.gcc5")
+	}
+	r := NewQuickRunner()
+	r.Workers = 2
+
+	var wg sync.WaitGroup
+	results := make([]Result, 2)
+	errs := make([]error, 2)
+	for i, m := range []config.Mechanism{config.TUS, config.SSB} {
+		wg.Add(1)
+		go func(i int, m config.Mechanism) {
+			defer wg.Done()
+			results[i], errs[i] = r.Run(b, m, 114)
+		}(i, m)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("cell %d: %v", i, err)
+		}
+		if results[i].Cycles == 0 {
+			t.Fatalf("cell %d: zero cycles", i)
+		}
+	}
+	if results[0].Cycles == results[1].Cycles {
+		t.Fatalf("TUS and SSB report identical cycles (%d); cells are not independent", results[0].Cycles)
+	}
+	if n := r.interned.generated.Load(); n != 1 {
+		t.Fatalf("trace generated %d times for one (bench, seed, ops) key, want 1", n)
+	}
+}
+
+// TestInternerSharesBacking pins the whole point of interning: two
+// requests for the same key return the same backing arrays, and a
+// different seed returns different ones.
+func TestInternerSharesBacking(t *testing.T) {
+	b, ok := workload.ByName("502.gcc5")
+	if !ok {
+		t.Fatal("missing benchmark 502.gcc5")
+	}
+	var in interner
+	t1 := in.traces(b, 1, 500)
+	t2 := in.traces(b, 1, 500)
+	if len(t1) == 0 || len(t1[0]) == 0 {
+		t.Fatal("empty trace")
+	}
+	if &t1[0][0] != &t2[0][0] {
+		t.Fatal("same key returned distinct backing arrays; trace was regenerated")
+	}
+	t3 := in.traces(b, 2, 500)
+	if &t1[0][0] == &t3[0][0] {
+		t.Fatal("different seeds share a backing array")
+	}
+	if n := in.generated.Load(); n != 2 {
+		t.Fatalf("generated %d traces for 2 distinct keys, want 2", n)
+	}
+}
+
+// TestInternerHitZeroAlloc extends the zero-alloc pins to interned-
+// trace cell setup: once a trace is interned, serving it to another
+// cell allocates nothing beyond the per-cell stream cursors — and the
+// raw hit path allocates nothing at all.
+func TestInternerHitZeroAlloc(t *testing.T) {
+	b, ok := workload.ByName("502.gcc5")
+	if !ok {
+		t.Fatal("missing benchmark 502.gcc5")
+	}
+	var in interner
+	in.traces(b, 1, 500) // intern once
+	if n := testing.AllocsPerRun(100, func() {
+		in.traces(b, 1, 500)
+	}); n != 0 {
+		t.Fatalf("interned-trace hit allocates %v allocs/op, want 0", n)
+	}
+}

@@ -14,4 +14,11 @@ package harness
 // construction — the differential rig proves it — but the bump keeps
 // the before/after byte-identity comparison honest by forcing fresh
 // simulation instead of serving pre-conversion cache entries.)
-const Version = "tusim-harness-5"
+//
+// (v6: hierarchical time-wheel event scheduler + interned workload
+// traces. Pop order — and therefore every cell result — is proved
+// identical to the v5 binary heap by the wheel differential rig and
+// `make ref-identity`, but the same honesty argument applies: a v6
+// binary must never serve v5 cache entries as its own, so the
+// committed BENCH_harness.json baseline was regenerated fresh.)
+const Version = "tusim-harness-6"

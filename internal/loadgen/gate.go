@@ -58,32 +58,52 @@ func ReadBench(path string) (harness.BenchReport, error) {
 // fresh run no longer produced, or total wall-clock blowing the ratio.
 // Fresh runs being FASTER never fails — the ratchet only guards the
 // slow direction; tightening the baseline is a deliberate commit.
+//
+// When the two records disagree on workers or num_cpu, wall-clock
+// comparisons are meaningless (a 16-way baseline against a serial CI
+// runner, or vice versa), so the per-figure and wall_seconds checks are
+// replaced by a cell_seconds check: summed per-cell simulation time is
+// worker-invariant, and sim_cycles_per_sec (already per-cell) keeps
+// ratcheting as usual.
 func GateBench(baseline, fresh harness.BenchReport, o GateOpts) []string {
 	o = o.withDefaults()
 	var out []string
 
-	freshFigs := map[string]float64{}
-	for _, f := range fresh.Figures {
-		freshFigs[f.Name] = f.Seconds
-	}
-	for _, b := range baseline.Figures {
-		fs, ok := freshFigs[b.Name]
-		if !ok {
-			out = append(out, fmt.Sprintf("%s: present in baseline but missing from fresh run", b.Name))
-			continue
+	sameShape := baseline.Workers == fresh.Workers && baseline.NumCPU == fresh.NumCPU
+	if sameShape {
+		freshFigs := map[string]float64{}
+		for _, f := range fresh.Figures {
+			freshFigs[f.Name] = f.Seconds
 		}
-		if b.Seconds < o.FloorSeconds && fs < o.FloorSeconds {
-			continue // both under the noise floor
+		for _, b := range baseline.Figures {
+			fs, ok := freshFigs[b.Name]
+			if !ok {
+				out = append(out, fmt.Sprintf("%s: present in baseline but missing from fresh run", b.Name))
+				continue
+			}
+			if b.Seconds < o.FloorSeconds && fs < o.FloorSeconds {
+				continue // both under the noise floor
+			}
+			if fs > b.Seconds*o.MaxRatio {
+				out = append(out, fmt.Sprintf("%s: %.3fs vs baseline %.3fs (%.1fx > %.1fx allowed)",
+					b.Name, fs, b.Seconds, fs/b.Seconds, o.MaxRatio))
+			}
 		}
-		if fs > b.Seconds*o.MaxRatio {
-			out = append(out, fmt.Sprintf("%s: %.3fs vs baseline %.3fs (%.1fx > %.1fx allowed)",
-				b.Name, fs, b.Seconds, fs/b.Seconds, o.MaxRatio))
+		if baseline.WallSeconds >= o.FloorSeconds || fresh.WallSeconds >= o.FloorSeconds {
+			if fresh.WallSeconds > baseline.WallSeconds*o.MaxRatio {
+				out = append(out, fmt.Sprintf("wall_seconds: %.3fs vs baseline %.3fs (%.1fx > %.1fx allowed)",
+					fresh.WallSeconds, baseline.WallSeconds, fresh.WallSeconds/baseline.WallSeconds, o.MaxRatio))
+			}
 		}
-	}
-	if baseline.WallSeconds >= o.FloorSeconds || fresh.WallSeconds >= o.FloorSeconds {
-		if fresh.WallSeconds > baseline.WallSeconds*o.MaxRatio {
-			out = append(out, fmt.Sprintf("wall_seconds: %.3fs vs baseline %.3fs (%.1fx > %.1fx allowed)",
-				fresh.WallSeconds, baseline.WallSeconds, fresh.WallSeconds/baseline.WallSeconds, o.MaxRatio))
+	} else if baseline.CellSeconds >= o.FloorSeconds || fresh.CellSeconds >= o.FloorSeconds {
+		// Worker-shape mismatch: compare the worker-invariant aggregate.
+		// Only meaningful when both sides simulated a comparable cell
+		// population — a cache-hot side reports near-zero cell time.
+		if baseline.CellSeconds > 0 && fresh.CellsRun > 0 && baseline.CellsRun > 0 &&
+			fresh.CellSeconds > baseline.CellSeconds*o.MaxRatio {
+			out = append(out, fmt.Sprintf("cell_seconds: %.3fs vs baseline %.3fs (%.1fx > %.1fx allowed; workers %d vs %d, cpus %d vs %d — wall-clock not comparable)",
+				fresh.CellSeconds, baseline.CellSeconds, fresh.CellSeconds/baseline.CellSeconds, o.MaxRatio,
+				fresh.Workers, baseline.Workers, fresh.NumCPU, baseline.NumCPU))
 		}
 	}
 	// Simulator throughput (simulated cycles per second of simulation

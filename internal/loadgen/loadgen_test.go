@@ -365,6 +365,55 @@ func TestGateBenchThroughput(t *testing.T) {
 	}
 }
 
+// TestGateBenchWorkerMismatch pins the worker-invariance rule: when
+// baseline and fresh disagree on workers or num_cpu, wall-clock wires
+// (per-figure, wall_seconds) are suppressed in favor of the
+// worker-invariant cell_seconds, while sim_cycles_per_sec keeps
+// ratcheting regardless of shape.
+func TestGateBenchWorkerMismatch(t *testing.T) {
+	shaped := func(workers, cpus int, fig8, wall, cell float64, cyclesPerSec float64) harness.BenchReport {
+		rep := benchRecord(fig8, wall)
+		rep.Workers = workers
+		rep.NumCPU = cpus
+		rep.CellSeconds = cell
+		rep.CellsRun = 300
+		rep.SimCyclesPerSec = cyclesPerSec
+		return rep
+	}
+	baseline := shaped(16, 16, 2.0, 3.0, 40.0, 2.0e6)
+
+	// 16-way baseline vs serial CI runner: wall time legitimately 10x
+	// worse, but cell_seconds and throughput match — must pass.
+	serial := shaped(1, 1, 30.0, 41.0, 41.0, 2.0e6)
+	if v := loadgen.GateBench(baseline, serial, loadgen.GateOpts{}); len(v) != 0 {
+		t.Fatalf("shape-mismatched wall regression failed the gate: %v", v)
+	}
+	// A real regression shows up in the worker-invariant aggregate.
+	slow := shaped(1, 1, 90.0, 121.0, 120.0, 2.0e6)
+	v := loadgen.GateBench(baseline, slow, loadgen.GateOpts{})
+	if len(v) != 1 || !strings.Contains(v[0], "cell_seconds") {
+		t.Fatalf("3x cell_seconds regression across shapes: got %v, want one cell_seconds violation", v)
+	}
+	// Throughput collapse still gates across shapes.
+	collapsed := shaped(1, 1, 30.0, 41.0, 41.0, 0.5e6)
+	v = loadgen.GateBench(baseline, collapsed, loadgen.GateOpts{})
+	if len(v) != 1 || !strings.Contains(v[0], "sim_cycles_per_sec") {
+		t.Fatalf("throughput collapse across shapes: got %v, want one sim_cycles_per_sec violation", v)
+	}
+	// Same shape on both sides keeps the wall-clock wires armed.
+	sameSlow := shaped(16, 16, 9.0, 10.0, 40.0, 2.0e6)
+	v = loadgen.GateBench(baseline, sameSlow, loadgen.GateOpts{})
+	if len(v) != 2 {
+		t.Fatalf("same-shape 3x wall regression: got %v, want fig8 + wall_seconds", v)
+	}
+	// A cache-hot fresh run across shapes has no cell evidence: pass.
+	hot := shaped(1, 1, 0.1, 0.2, 0.0, 0)
+	hot.CellsRun = 0
+	if v := loadgen.GateBench(baseline, hot, loadgen.GateOpts{}); len(v) != 0 {
+		t.Fatalf("cache-hot shape-mismatched run failed the gate: %v", v)
+	}
+}
+
 func latReport(p99 uint64) loadgen.Report {
 	return loadgen.Report{
 		Endpoints: []loadgen.EndpointStats{

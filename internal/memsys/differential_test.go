@@ -62,10 +62,16 @@ func (h *diffHandler) HandleRelinquish(line uint64) {
 	h.side.log = append(h.side.log, fmt.Sprintf("relinq c%d %#x", h.core, line))
 }
 
-func newDiffSide(cores int, ref bool, plan faults.Plan) *diffSide {
+// newDiffSide builds one comparison side. ref selects the reference
+// containers; schedRef selects the reference binary-heap scheduler
+// (false = the production time wheel), independently, so the rig can
+// pin container identity and scheduler identity with the same
+// snapshot machinery.
+func newDiffSide(cores int, ref, schedRef bool, plan faults.Plan) *diffSide {
 	cfg := config.Default().WithCores(cores)
 	cfg.RefContainers = ref
-	q := event.NewQueue()
+	cfg.RefScheduler = schedRef
+	q := event.NewQueueRef(schedRef)
 	mem := NewMemory()
 	st := stats.NewSet("sys")
 	dram := NewDRAM(q, cfg.DRAMLatency, cfg.DRAMMaxInFlight)
@@ -181,8 +187,27 @@ func (s *diffSide) step(op, core int, line uint64, off, sz uint64, seq uint64) {
 
 func runDifferential(t *testing.T, seed int64, cores int, plan faults.Plan) {
 	t.Helper()
-	fast := newDiffSide(cores, false, plan)
-	ref := newDiffSide(cores, true, plan)
+	fast := newDiffSide(cores, false, event.DefaultRef, plan)
+	ref := newDiffSide(cores, true, event.DefaultRef, plan)
+	runDiffPair(t, "fast", fast, "reference", ref, seed)
+}
+
+// runSchedulerDifferential holds the containers fixed (fast path on
+// both sides) and varies only the event-queue engine: one machine on
+// the time wheel, its twin on the reference binary heap. Identical
+// snapshots at every drain point — including the cycle counter, the
+// ordered reply log, and every stat — pin the wheel's (cycle, seq) pop
+// order to the heap under full coherence traffic.
+func runSchedulerDifferential(t *testing.T, seed int64, cores int, plan faults.Plan) {
+	t.Helper()
+	wheel := newDiffSide(cores, false, false, plan)
+	heap := newDiffSide(cores, false, true, plan)
+	runDiffPair(t, "wheel", wheel, "heap", heap, seed)
+}
+
+func runDiffPair(t *testing.T, aName string, fast *diffSide, bName string, ref *diffSide, seed int64) {
+	t.Helper()
+	cores := len(fast.r.ps)
 	rng := rand.New(rand.NewSource(seed))
 
 	// A line pool with deliberate set pressure: more lines per L1 set
@@ -216,8 +241,8 @@ func runDifferential(t *testing.T, seed int64, cores int, plan faults.Plan) {
 		ref.r.q.Drain(ref.r.q.Now() + 1_000_000)
 		fs, rs := fast.snapshot(pool), ref.snapshot(pool)
 		if fs != rs {
-			t.Fatalf("seed %d drain point %d: fast and reference state diverge\n%s",
-				seed, step, firstDiff(fs, rs))
+			t.Fatalf("seed %d drain point %d: %s and %s state diverge\n%s",
+				seed, step, aName, bName, firstDiff(fs, rs))
 		}
 	}
 }
@@ -227,10 +252,10 @@ func firstDiff(a, b string) string {
 	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
 	for i := 0; i < len(al) && i < len(bl); i++ {
 		if al[i] != bl[i] {
-			return fmt.Sprintf("line %d:\n  fast: %s\n  ref:  %s", i, al[i], bl[i])
+			return fmt.Sprintf("line %d:\n  lhs: %s\n  rhs: %s", i, al[i], bl[i])
 		}
 	}
-	return fmt.Sprintf("lengths differ: fast %d lines, ref %d lines", len(al), len(bl))
+	return fmt.Sprintf("lengths differ: lhs %d lines, rhs %d lines", len(al), len(bl))
 }
 
 // TestDifferentialStateIdentity drives seeded random traffic through a
@@ -262,4 +287,35 @@ func TestDifferentialStateIdentityChaos(t *testing.T) {
 // more of the traffic.
 func TestDifferentialFourCores(t *testing.T) {
 	runDifferential(t, 99, 4, faults.Plan{})
+}
+
+// TestDifferentialSchedulerWheelVsHeap pins the time-wheel scheduler's
+// pop order to the reference heap under seeded coherence traffic: same
+// containers, different event-queue engines, byte-identical state at
+// every drain point.
+func TestDifferentialSchedulerWheelVsHeap(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			runSchedulerDifferential(t, seed, 2, faults.Plan{})
+		})
+	}
+}
+
+// TestDifferentialSchedulerChaos repeats the scheduler comparison with
+// a chaos-injector stream active: latency jitter and NACK-driven
+// retries reschedule events at adversarial offsets (including the
+// wheel-horizon boundary), and the pop order must still match exactly.
+func TestDifferentialSchedulerChaos(t *testing.T) {
+	for _, seed := range []uint64{3, 11} {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			plan := faults.Schedule(seed)
+			runSchedulerDifferential(t, int64(seed), 2, plan)
+		})
+	}
+}
+
+// TestDifferentialSchedulerFourCores widens the scheduler comparison
+// to a 4-core machine.
+func TestDifferentialSchedulerFourCores(t *testing.T) {
+	runSchedulerDifferential(t, 99, 4, faults.Plan{})
 }

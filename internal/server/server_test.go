@@ -609,21 +609,25 @@ func TestAPIErrorPaths(t *testing.T) {
 
 	// Output of a queued (unfinished) job is 409, not a hang or a 200
 	// with partial bytes. MaxJobs is 1, so a heavy blocker (the full
-	// SB-bound matrix) pins the pool slot long enough that the second
-	// job stays deterministically queued through the checks below.
-	blocker, _, err := s.Submit(JobRequest{Kind: "cells", Benches: []string{
+	// bench set at three SB points, 66 cells) pins the pool slot long
+	// enough that the second job stays queued through the checks below.
+	allBenches := []string{
 		"502.gcc1", "502.gcc2", "502.gcc3", "502.gcc4", "502.gcc5",
 		"505.mcf", "520.omnetpp", "557.xz", "tf.matmul", "tf.conv", "tf.embed",
-	}})
+	}
+	blocker, _, err := s.Submit(JobRequest{Kind: "cells", Benches: allBenches, SBs: []int{114, 140, 171}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	// The queued job uses SB 32, disjoint from the blocker's default
-	// SB 114 matrix: none of its cells are memoized, so even if the
-	// pool admits it in the same instant the cancel lands, the build
-	// observes the canceled context and the terminal state stays
-	// deterministically canceled.
-	queued, _, err := s.Submit(JobRequest{Kind: "cells", Benches: []string{"505.mcf"}, SBs: []int{32}})
+	// The queued job uses SB 32, disjoint from the blocker's matrix:
+	// none of its 22 cells are memoized, so even if the pool admits it
+	// in the same instant the cancel lands, the build cannot finish all
+	// cells before the cancel below commits — runJob observes the
+	// canceled context mid-build and the terminal state stays
+	// deterministically canceled. For the job to end "done" instead,
+	// all 88 cells of both jobs would have to simulate inside the
+	// in-process window between the HTTP read below and s.Cancel.
+	queued, _, err := s.Submit(JobRequest{Kind: "cells", Benches: allBenches, SBs: []int{32}})
 	if err != nil {
 		t.Fatal(err)
 	}

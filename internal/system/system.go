@@ -79,7 +79,7 @@ func New(cfg *config.Config, streams []isa.Stream) (*System, error) {
 	}
 	s := &System{
 		Cfg:      cfg,
-		Q:        event.NewQueue(),
+		Q:        event.NewQueueRef(cfg.RefScheduler || event.DefaultRef),
 		Mem:      memsys.NewMemory(),
 		SysStats: stats.NewSet("sys"),
 	}
